@@ -1,0 +1,189 @@
+// Benchmark harness: one testing.B benchmark per table and figure in the
+// paper's evaluation (DESIGN.md experiment index E1-E9), plus end-to-end
+// VM benchmarks. Each figure benchmark regenerates its artifact at reduced
+// scale and reports the figure's headline statistic via b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as a shape check:
+//
+//	E1 Fig1a  acq-growth-x      lock acquisitions, last/first thread count
+//	E2 Fig1b  cont-growth-x     lock contentions, last/first
+//	E3 Fig1c  cdf1k-shift-pt    eclipse CDF@1KB shift (flat expected)
+//	E4 Fig1d  cdf1k-shift-pt    xalan CDF@1KB drop (large expected)
+//	E5 Fig2   gc-growth-x       GC time growth for the scalable trio
+//	E6 class  match-frac        classification agreement with the paper
+//	E7 dist   top4-share        work concentration for non-scalable apps
+//	E8/E9     ablation deltas
+package javasim_test
+
+import (
+	"testing"
+
+	"javasim"
+	"javasim/internal/metrics"
+)
+
+// benchSuite builds a reduced-scale suite mirroring the paper's sweep
+// shape; scale 0.15 keeps one full regeneration under a second.
+func benchSuite() *javasim.Suite {
+	return javasim.NewSuite(javasim.ExperimentConfig{
+		ThreadCounts: []int{4, 16, 48},
+		Scale:        0.15,
+		Seed:         42,
+	})
+}
+
+func sweepOrFatal(b *testing.B, s *javasim.Suite, name string) *javasim.Sweep {
+	b.Helper()
+	sw, err := s.SweepFor(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sw
+}
+
+// BenchmarkFig1aLockAcquisitions regenerates Figure 1a (E1).
+func BenchmarkFig1aLockAcquisitions(b *testing.B) {
+	var growth float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Fig1a(); err != nil {
+			b.Fatal(err)
+		}
+		growth = metrics.GrowthFactor(sweepOrFatal(b, s, "xalan").Acquisitions())
+	}
+	b.ReportMetric(growth, "xalan-acq-growth-x")
+}
+
+// BenchmarkFig1bLockContentions regenerates Figure 1b (E2).
+func BenchmarkFig1bLockContentions(b *testing.B) {
+	var growth float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Fig1b(); err != nil {
+			b.Fatal(err)
+		}
+		growth = metrics.GrowthFactor(sweepOrFatal(b, s, "xalan").Contentions())
+	}
+	b.ReportMetric(growth, "xalan-cont-growth-x")
+}
+
+// BenchmarkFig1cEclipseLifetimes regenerates Figure 1c (E3).
+func BenchmarkFig1cEclipseLifetimes(b *testing.B) {
+	var shift float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Fig1c(); err != nil {
+			b.Fatal(err)
+		}
+		cdf := sweepOrFatal(b, s, "eclipse").CDFBelow(1024)
+		shift = 100 * (cdf[0] - cdf[len(cdf)-1])
+	}
+	b.ReportMetric(shift, "eclipse-cdf1k-shift-pt")
+}
+
+// BenchmarkFig1dXalanLifetimes regenerates Figure 1d (E4).
+func BenchmarkFig1dXalanLifetimes(b *testing.B) {
+	var shift float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Fig1d(); err != nil {
+			b.Fatal(err)
+		}
+		cdf := sweepOrFatal(b, s, "xalan").CDFBelow(1024)
+		shift = 100 * (cdf[0] - cdf[len(cdf)-1])
+	}
+	b.ReportMetric(shift, "xalan-cdf1k-shift-pt")
+}
+
+// BenchmarkFig2MutatorGC regenerates Figure 2 (E5).
+func BenchmarkFig2MutatorGC(b *testing.B) {
+	var gcGrowth float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+		gcGrowth = metrics.GrowthFactor(sweepOrFatal(b, s, "xalan").GCSeconds())
+	}
+	b.ReportMetric(gcGrowth, "xalan-gc-growth-x")
+}
+
+// BenchmarkTableClassification regenerates the §II-C table (E6).
+func BenchmarkTableClassification(b *testing.B) {
+	var matches float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.ClassificationTable(); err != nil {
+			b.Fatal(err)
+		}
+		matches = 0
+		for _, spec := range javasim.Benchmarks() {
+			if sweepOrFatal(b, s, spec.Name).Classify(2.0).Matches() {
+				matches++
+			}
+		}
+		matches /= 6
+	}
+	b.ReportMetric(matches, "paper-match-frac")
+}
+
+// BenchmarkTableWorkDistribution regenerates the §III observation (E7).
+func BenchmarkTableWorkDistribution(b *testing.B) {
+	var top4 float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.WorkDistributionTable(); err != nil {
+			b.Fatal(err)
+		}
+		top4 = sweepOrFatal(b, s, "jython").ComputeFactors().Top4Share
+	}
+	b.ReportMetric(top4, "jython-top4-share")
+}
+
+// BenchmarkAblationBiasedScheduling regenerates the §IV suggestion-1
+// ablation (E8).
+func BenchmarkAblationBiasedScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite().AblationBias(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCompartmentHeap regenerates the §IV suggestion-2
+// ablation (E9).
+func BenchmarkAblationCompartmentHeap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite().AblationCompartments(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMRun measures raw simulator throughput: one xalan run per
+// iteration at a fixed configuration, reporting simulated-vs-real speed.
+func BenchmarkVMRun(b *testing.B) {
+	spec, _ := javasim.BenchmarkByName("xalan")
+	spec = spec.Scale(0.1)
+	var virtualNS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := javasim.Run(spec, javasim.Config{Threads: 8, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtualNS = float64(res.TotalTime)
+	}
+	b.ReportMetric(virtualNS, "virtual-ns/run")
+}
+
+// BenchmarkVMRunManycore exercises the full 48-core configuration.
+func BenchmarkVMRunManycore(b *testing.B) {
+	spec, _ := javasim.BenchmarkByName("sunflow")
+	spec = spec.Scale(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := javasim.Run(spec, javasim.Config{Threads: 48, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Command figures regenerates the paper's figures and tables (DESIGN.md
+// experiment index E1-E9).
+//
+// Usage:
+//
+//	figures                         # all artifacts, full scale
+//	figures -fig 1a                 # one figure: 1a|1b|1c|1d|2
+//	figures -table classification   # classification|workdist|factors|biased|compartment
+//	figures -scale 0.2 -threads 4,16,48 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"javasim"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 1a|1b|1c|1d|2 (empty = all artifacts)")
+		table   = flag.String("table", "", "table to regenerate: classification|workdist|factors|biased|compartment")
+		study   = flag.String("study", "", "design-choice study: heapfactor|gcworkers|tenuring|numa|collector|pretenure|replication|all")
+		scale   = flag.Float64("scale", 1, "workload scale factor (0,1]")
+		seed    = flag.Uint64("seed", 42, "deterministic seed")
+		threads = flag.String("threads", "", "comma-separated thread counts (default 4,8,16,24,32,48)")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+		chart   = flag.Bool("chart", false, "with -fig 2: render ASCII charts instead of the table")
+	)
+	flag.Parse()
+
+	cfg := javasim.ExperimentConfig{Scale: *scale, Seed: *seed}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fatalf("bad -threads entry %q", part)
+			}
+			cfg.ThreadCounts = append(cfg.ThreadCounts, n)
+		}
+	}
+	suite := javasim.NewSuite(cfg)
+
+	var tables []*javasim.Table
+	add := func(t *javasim.Table, err error) {
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tables = append(tables, t)
+	}
+
+	switch {
+	case *fig != "":
+		switch *fig {
+		case "1a":
+			add(suite.Fig1a())
+		case "1b":
+			add(suite.Fig1b())
+		case "1c":
+			add(suite.Fig1c())
+		case "1d":
+			add(suite.Fig1d())
+		case "2":
+			if *chart {
+				charts, err := suite.Fig2Chart()
+				if err != nil {
+					fatalf("%v", err)
+				}
+				for _, c := range charts {
+					if err := c.WriteASCII(os.Stdout); err != nil {
+						fatalf("%v", err)
+					}
+					fmt.Println()
+				}
+				return
+			}
+			add(suite.Fig2())
+		default:
+			fatalf("unknown figure %q (1a|1b|1c|1d|2)", *fig)
+		}
+	case *table != "":
+		switch *table {
+		case "classification":
+			add(suite.ClassificationTable())
+		case "workdist":
+			add(suite.WorkDistributionTable())
+		case "factors":
+			add(suite.FactorsTable())
+		case "biased":
+			add(suite.AblationBias())
+		case "compartment":
+			add(suite.AblationCompartments())
+		default:
+			fatalf("unknown table %q", *table)
+		}
+	case *study != "":
+		switch *study {
+		case "heapfactor":
+			add(suite.StudyHeapFactor())
+		case "gcworkers":
+			add(suite.StudyGCWorkers())
+		case "tenuring":
+			add(suite.StudyTenuring())
+		case "numa":
+			add(suite.StudyNUMA())
+		case "replication":
+			add(suite.StudyReplication())
+		case "collector":
+			add(suite.StudyCollector())
+		case "pretenure":
+			add(suite.StudyPretenuring())
+		case "all":
+			all, err := suite.AllStudies()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			tables = all
+		default:
+			fatalf("unknown study %q", *study)
+		}
+	default:
+		all, err := suite.AllArtifacts()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tables = all
+	}
+
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		var err error
+		if *csvOut {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteASCII(os.Stdout)
+		}
+		if err != nil {
+			fatalf("render: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+	os.Exit(1)
+}

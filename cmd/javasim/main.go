@@ -1,0 +1,172 @@
+// Command javasim runs one benchmark configuration on the simulated JVM
+// and prints the measurement record — the per-run driver behind the
+// paper's methodology (§II-B).
+//
+// Usage:
+//
+//	javasim -workload xalan -threads 16 [-heap-factor 3] [-seed 42]
+//	        [-scale 1.0] [-compartments 4] [-bias-groups 2]
+//	        [-trace out.trace] [-lockprof] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"javasim"
+	"javasim/internal/sim"
+	"javasim/internal/trace"
+	"javasim/internal/workload"
+)
+
+func main() {
+	var (
+		name         = flag.String("workload", "xalan", "benchmark: sunflow|lusearch|xalan|h2|eclipse|jython|server")
+		specFile     = flag.String("spec", "", "load a custom workload Spec from this JSON file (overrides -workload)")
+		dumpSpec     = flag.Bool("dump-spec", false, "print the selected workload's Spec as JSON and exit")
+		threads      = flag.Int("threads", 4, "mutator threads (cores = threads, per the paper)")
+		cores        = flag.Int("cores", 0, "enabled cores; 0 means cores = threads")
+		heapFactor   = flag.Float64("heap-factor", 3, "heap size as a multiple of the minimum heap")
+		seed         = flag.Uint64("seed", 42, "deterministic seed")
+		scale        = flag.Float64("scale", 1, "workload scale factor (0,1]")
+		iterations   = flag.Int("iterations", 1, "DaCapo-style iterations inside one JVM")
+		compartments = flag.Int("compartments", 0, "heap compartments (future-work b); 0 = off")
+		biasGroups   = flag.Int("bias-groups", 0, "phase-bias scheduling groups (future-work a); 0 = off")
+		biasPhase    = flag.Duration("bias-phase", 0, "phase length for biased scheduling (default 2ms)")
+		traceOut     = flag.String("trace", "", "write an Elephant-Tracks-style binary trace to this file")
+		lockprofFlag = flag.Bool("lockprof", false, "print the DTrace-style lock profile")
+		verbose      = flag.Bool("v", false, "print per-thread detail")
+	)
+	flag.Parse()
+
+	var spec javasim.Spec
+	if *specFile != "" {
+		f, err := os.Open(*specFile)
+		if err != nil {
+			fatalf("open spec: %v", err)
+		}
+		spec, err = workload.LoadSpec(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		var ok bool
+		spec, ok = javasim.BenchmarkByName(*name)
+		if !ok {
+			names := make([]string, 0, 6)
+			for _, s := range javasim.Benchmarks() {
+				names = append(names, s.Name)
+			}
+			fatalf("unknown workload %q; choose one of %s (or an extension)", *name, strings.Join(names, ", "))
+		}
+	}
+	if *dumpSpec {
+		if err := spec.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *scale != 1 {
+		spec = spec.Scale(*scale)
+	}
+
+	cfg := javasim.Config{
+		Threads:      *threads,
+		Cores:        *cores,
+		HeapFactor:   *heapFactor,
+		Seed:         *seed,
+		Compartments: *compartments,
+		Iterations:   *iterations,
+	}
+	if *biasGroups > 1 {
+		cfg.Sched.Bias.Groups = *biasGroups
+		cfg.Sched.Bias.PhaseLength = sim.Time(biasPhase.Nanoseconds())
+		if cfg.Sched.Bias.PhaseLength <= 0 {
+			cfg.Sched.Bias.PhaseLength = 2 * sim.Millisecond
+		}
+	}
+
+	var traceFile *os.File
+	var tw *trace.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("create trace: %v", err)
+		}
+		traceFile = f
+		tw = trace.NewWriter(f)
+		cfg.TraceSink = tw
+	}
+	var prof *javasim.LockProfiler
+	if *lockprofFlag {
+		prof = javasim.NewLockProfiler()
+		cfg.LockProfiler = prof
+	}
+
+	res, err := javasim.Run(spec, cfg)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+
+	fmt.Printf("workload      %s (scale %.2f)\n", res.Workload, *scale)
+	fmt.Printf("threads/cores %d/%d\n", res.Threads, res.Cores)
+	fmt.Printf("total time    %v\n", res.TotalTime)
+	fmt.Printf("mutator time  %v\n", res.MutatorTime)
+	fmt.Printf("gc time       %v (%.1f%%, safepoints %v)\n", res.GCTime, 100*res.GCShare(), res.SafepointTime)
+	fmt.Printf("collections   %d minor, %d full\n", res.GCStats.MinorCount, res.GCStats.FullCount)
+	fmt.Printf("allocated     %d objects, %.1f MB\n", res.ObjectsAllocated, float64(res.AllocatedBytes)/(1<<20))
+	fmt.Printf("promoted      %.2f MB, copied %.2f MB\n",
+		float64(res.GCStats.PromotedBytes)/(1<<20), float64(res.GCStats.CopiedBytes)/(1<<20))
+	fmt.Printf("locks         %d acquisitions, %d contentions (%.2f%%)\n",
+		res.LockAcquisitions, res.LockContentions,
+		100*float64(res.LockContentions)/float64(max64(res.LockAcquisitions, 1)))
+	fmt.Printf("lifespans     %.1f%% < 1KB, mean %.0f B\n",
+		100*res.Lifespans.FractionBelow(1024), res.Lifespans.Mean())
+	fmt.Printf("utilization   %.2f\n", res.Utilization)
+	if len(res.Iterations) > 1 {
+		fmt.Println("iterations    (duration / gc / collections)")
+		for _, it := range res.Iterations {
+			fmt.Printf("  #%-2d %12v %12v %4d\n", it.Index, it.Duration, it.GCTime, it.Collections)
+		}
+	}
+
+	if *verbose {
+		fmt.Println("\nper-thread: units cpu ready-wait")
+		for i, u := range res.PerThreadUnits {
+			fmt.Printf("  worker-%-3d %6d %12v %12v\n", i, u, res.PerThreadCPU[i], res.PerThreadReadyWait[i])
+		}
+		fmt.Println("\ngc pauses: kind start duration (setup/scan/copy)")
+		for _, p := range res.GCPauses {
+			fmt.Printf("  %-5s %12v %12v (%v/%v/%v)\n", p.Kind, p.Start, p.Duration,
+				p.Phases.Setup, p.Phases.Scan, p.Phases.Copy)
+		}
+	}
+	if prof != nil {
+		fmt.Println()
+		prof.Report(os.Stdout, 10)
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			fatalf("flush trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatalf("close trace: %v", err)
+		}
+		fmt.Printf("\ntrace: %d events written to %s\n", tw.Count(), *traceOut)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "javasim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Compartmentalized heap + biased scheduling: the paper's two future-work
+// proposals (§IV), run as ablations against the same baseline.
+//
+// Suggestion 1 staggers worker-thread groups in time (phase-biased
+// scheduling) to reduce lifetime interference between threads.
+// Suggestion 2 splits eden into per-thread-group compartments so a
+// collection only disturbs one group's objects, shortening pauses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"javasim"
+	"javasim/internal/sim"
+)
+
+const threads = 48
+
+func run(label string, mutate func(*javasim.Config)) *javasim.Result {
+	spec, ok := javasim.BenchmarkByName("xalan")
+	if !ok {
+		log.Fatal("xalan model missing")
+	}
+	cfg := javasim.Config{Threads: threads, Seed: 42}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := javasim.Run(spec.Scale(0.5), cfg)
+	if err != nil {
+		log.Fatalf("%s: %v", label, err)
+	}
+	return res
+}
+
+func maxPause(res *javasim.Result) javasim.Time {
+	var m javasim.Time
+	for _, p := range res.GCPauses {
+		if p.Duration > m {
+			m = p.Duration
+		}
+	}
+	return m
+}
+
+func main() {
+	base := run("baseline", nil)
+	biased := run("biased", func(c *javasim.Config) {
+		c.Sched.Bias.Groups = 2
+		c.Sched.Bias.PhaseLength = 2 * sim.Millisecond
+	})
+	comp := run("compartments", func(c *javasim.Config) {
+		c.Compartments = 4
+	})
+
+	fmt.Printf("xalan @ %d threads — paper §IV ablations\n\n", threads)
+	fmt.Printf("%-26s %14s %14s %14s\n", "", "baseline", "biased-sched", "compartments")
+	row := func(name string, f func(*javasim.Result) string) {
+		fmt.Printf("%-26s %14s %14s %14s\n", name, f(base), f(biased), f(comp))
+	}
+	row("total time", func(r *javasim.Result) string { return r.TotalTime.String() })
+	row("gc time", func(r *javasim.Result) string { return r.GCTime.String() })
+	row("mean gc pause", func(r *javasim.Result) string {
+		if len(r.GCPauses) == 0 {
+			return "-"
+		}
+		return (r.GCTime / javasim.Time(len(r.GCPauses))).String()
+	})
+	row("max gc pause", func(r *javasim.Result) string { return maxPause(r).String() })
+	row("collections", func(r *javasim.Result) string { return fmt.Sprint(len(r.GCPauses)) })
+	row("%objects <1KB", func(r *javasim.Result) string {
+		return fmt.Sprintf("%.1f%%", 100*r.Lifespans.FractionBelow(1024))
+	})
+	row("lock contentions", func(r *javasim.Result) string { return fmt.Sprint(r.LockContentions) })
+	row("utilization", func(r *javasim.Result) string { return fmt.Sprintf("%.2f", r.Utilization) })
+
+	fmt.Println("\nreading the results against the paper's hypotheses:")
+	fmt.Println(" - biased scheduling: fewer threads allocate concurrently, so object")
+	fmt.Println("   lifespans shorten (%<1KB rises) and contention drops, at the cost")
+	fmt.Println("   of idle cores while a group is gated.")
+	fmt.Println(" - compartments: each collection covers one eden slice, so individual")
+	fmt.Println("   pauses shrink even though the collection count rises.")
+}

@@ -1,0 +1,39 @@
+// Quickstart: run one benchmark on the simulated 48-core JVM and read the
+// three measurements the paper is built on — the mutator/GC time split,
+// the lock counters, and the object-lifespan distribution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"javasim"
+)
+
+func main() {
+	// Pick one of the six DaCapo models. xalan is the paper's Figure 1d
+	// subject: a scalable XSLT transformer with a hot shared work queue.
+	spec, ok := javasim.BenchmarkByName("xalan")
+	if !ok {
+		log.Fatal("xalan model missing")
+	}
+
+	// The zero-value Config reproduces the paper's setup: a four-socket
+	// Opteron 6168, cores = threads, heap at 3x the minimum requirement,
+	// HotSpot's throughput collector. Seeded runs are bit-for-bit
+	// reproducible.
+	res, err := javasim.Run(spec, javasim.Config{Threads: 16, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %d threads/%d cores\n", res.Workload, res.Threads, res.Cores)
+	fmt.Printf("  total     %v\n", res.TotalTime)
+	fmt.Printf("  mutator   %v\n", res.MutatorTime)
+	fmt.Printf("  gc        %v (%.1f%% of run, %d minor + %d full collections)\n",
+		res.GCTime, 100*res.GCShare(), res.GCStats.MinorCount, res.GCStats.FullCount)
+	fmt.Printf("  locks     %d acquisitions, %d contended\n",
+		res.LockAcquisitions, res.LockContentions)
+	fmt.Printf("  objects   %d allocated; %.1f%% died within 1KB of allocation\n",
+		res.ObjectsAllocated, 100*res.Lifespans.FractionBelow(1024))
+}

@@ -1,0 +1,53 @@
+// Scalability study: the paper's core experiment end to end. Sweeps all
+// six DaCapo models across thread counts with cores = threads, classifies
+// each as scalable or non-scalable (§II-C), and prints the factor
+// decomposition that explains *why* — sequential fraction, lock
+// contention growth, GC share growth, lifespan shift, and work imbalance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"javasim"
+)
+
+func main() {
+	// Scale 0.5 halves each workload so the whole study runs in seconds;
+	// pass Scale: 1 for the full-size runs used in EXPERIMENTS.md.
+	suite := javasim.NewSuite(javasim.ExperimentConfig{
+		ThreadCounts: []int{4, 8, 16, 32, 48},
+		Scale:        0.5,
+		Seed:         42,
+	})
+
+	classification, err := suite.ClassificationTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	classification.WriteASCII(os.Stdout)
+	fmt.Println()
+
+	factors, err := suite.FactorsTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	factors.WriteASCII(os.Stdout)
+	fmt.Println()
+
+	// Drill into one scalable workload: show the paper's headline series.
+	sw, err := suite.SweepFor("xalan")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("xalan detail (speedup | mutator | gc | contentions | objects dying <1KB):")
+	speedups := sw.Curve().Speedups()
+	cdf := sw.CDFBelow(1024)
+	for i, p := range sw.Points {
+		fmt.Printf("  t=%-3d %5.2fx  %10v  %10v  %8d  %5.1f%%\n",
+			p.Threads, speedups[i],
+			p.Result.MutatorTime, p.Result.GCTime,
+			p.Result.LockContentions, 100*cdf[i])
+	}
+}

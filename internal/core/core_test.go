@@ -1,0 +1,369 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"javasim/internal/metrics"
+	"javasim/internal/vm"
+	"javasim/internal/workload"
+)
+
+// testSweep runs a reduced-scale sweep for unit tests.
+func testSweep(t *testing.T, name string, counts []int) *Sweep {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	sw, err := RunSweep(spec.Scale(0.08), SweepConfig{
+		ThreadCounts: counts,
+		Base:         vm.Config{Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestRunSweepBasics(t *testing.T) {
+	sw := testSweep(t, "xalan", []int{2, 4, 8})
+	if len(sw.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(sw.Points))
+	}
+	for i, p := range sw.Points {
+		if p.Result == nil || p.Result.Threads != p.Threads {
+			t.Errorf("point %d inconsistent", i)
+		}
+	}
+	curve := sw.Curve()
+	if len(curve) != 3 || curve[0].Threads != 2 {
+		t.Errorf("curve = %+v", curve)
+	}
+	if len(sw.MutatorSeconds()) != 3 || len(sw.GCSeconds()) != 3 ||
+		len(sw.Acquisitions()) != 3 || len(sw.Contentions()) != 3 {
+		t.Error("series lengths wrong")
+	}
+}
+
+func TestClassifyScalableAndNot(t *testing.T) {
+	x := testSweep(t, "xalan", []int{2, 8, 16}).Classify(DefaultSpeedupThreshold)
+	if !x.Scalable {
+		t.Errorf("xalan classified non-scalable: %+v", x)
+	}
+	if !x.Matches() {
+		t.Error("xalan verdict does not match paper")
+	}
+	j := testSweep(t, "jython", []int{2, 8, 16}).Classify(DefaultSpeedupThreshold)
+	if j.Scalable {
+		t.Errorf("jython classified scalable: %+v", j)
+	}
+	if !j.Matches() {
+		t.Error("jython verdict does not match paper")
+	}
+}
+
+func TestComputeFactors(t *testing.T) {
+	sw := testSweep(t, "xalan", []int{2, 8, 16})
+	f := sw.ComputeFactors()
+	if f.AcquisitionGrowth < 1 {
+		t.Errorf("xalan acquisition growth %v < 1", f.AcquisitionGrowth)
+	}
+	if f.ContentionGrowth <= 1 {
+		t.Errorf("xalan contention growth %v <= 1", f.ContentionGrowth)
+	}
+	if f.SequentialFraction < 0 || f.SequentialFraction > 0.3 {
+		t.Errorf("xalan amdahl fit %v outside plausible range", f.SequentialFraction)
+	}
+	if f.Top4Share <= 0 || f.Top4Share > 1 {
+		t.Errorf("top4 share %v", f.Top4Share)
+	}
+	if f.ReadyWaitShare < 0 || f.ReadyWaitShare > 1 {
+		t.Errorf("ready-wait share %v", f.ReadyWaitShare)
+	}
+}
+
+func TestSuiteCachesSweeps(t *testing.T) {
+	s := NewSuite(ExperimentConfig{
+		ThreadCounts: []int{2, 4},
+		Scale:        0.02,
+		Workloads:    []workload.Spec{workload.XalanSpec()},
+	})
+	a, err := s.SweepFor("xalan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.SweepFor("xalan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("sweep not cached")
+	}
+	if _, err := s.SweepFor("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestSuiteDefaults(t *testing.T) {
+	s := NewSuite(ExperimentConfig{})
+	cfg := s.Config()
+	if cfg.Scale != 1 || cfg.Seed != 42 || len(cfg.Workloads) != 6 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if len(cfg.ThreadCounts) != len(DefaultThreadCounts) {
+		t.Error("default thread counts not applied")
+	}
+}
+
+func smallSuite(counts ...int) *Suite {
+	if len(counts) == 0 {
+		counts = []int{2, 4, 8}
+	}
+	return NewSuite(ExperimentConfig{
+		ThreadCounts: counts,
+		Scale:        0.04,
+		Seed:         13,
+	})
+}
+
+func TestFig1aTable(t *testing.T) {
+	tb, err := smallSuite().Fig1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Title, "1a") {
+		t.Error("title missing figure id")
+	}
+	out := tb.String()
+	for _, w := range []string{"xalan", "jython", "t=2", "t=8"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("table missing %q", w)
+		}
+	}
+}
+
+func TestFig1bTable(t *testing.T) {
+	tb, err := smallSuite().Fig1b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFig1cdTables(t *testing.T) {
+	s := smallSuite()
+	c, err := s.Fig1c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.Title, "eclipse") {
+		t.Error("Fig1c is not eclipse")
+	}
+	d, err := s.Fig1d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Title, "xalan") {
+		t.Error("Fig1d is not xalan")
+	}
+	if len(d.Rows) != len(cdfLimits) {
+		t.Errorf("cdf rows = %d, want %d", len(d.Rows), len(cdfLimits))
+	}
+}
+
+func TestLifespanCDFUnknownThreads(t *testing.T) {
+	if _, err := smallSuite().LifespanCDF("xalan", 3, 999); err == nil {
+		t.Error("bogus thread counts accepted")
+	}
+}
+
+func TestFig2Table(t *testing.T) {
+	s := smallSuite()
+	tb, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalable trio x 3 thread counts.
+	if len(tb.Rows) != 9 {
+		t.Errorf("rows = %d, want 9", len(tb.Rows))
+	}
+	if !strings.Contains(tb.String(), "gc-share") {
+		t.Error("missing gc-share column")
+	}
+}
+
+func TestClassificationTable(t *testing.T) {
+	tb, err := smallSuite(2, 8, 16).ClassificationTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if strings.Contains(out, "NO") {
+		t.Errorf("classification mismatch with paper:\n%s", out)
+	}
+}
+
+func TestWorkDistributionTable(t *testing.T) {
+	tb, err := smallSuite(2, 8, 16).WorkDistributionTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFactorsTable(t *testing.T) {
+	tb, err := smallSuite().FactorsTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := smallSuite(2, 8)
+	bias, err := s.AblationBias()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bias.Rows) == 0 || !strings.Contains(bias.Title, "xalan") {
+		t.Error("bias ablation malformed")
+	}
+	comp, err := s.AblationCompartments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Rows) == 0 {
+		t.Error("compartment ablation malformed")
+	}
+}
+
+func TestAllArtifacts(t *testing.T) {
+	tables, err := smallSuite().AllArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 10 {
+		t.Errorf("artifacts = %d, want 10", len(tables))
+	}
+	for _, tb := range tables {
+		if tb.Title == "" || len(tb.Rows) == 0 {
+			t.Errorf("empty artifact %q", tb.Title)
+		}
+	}
+}
+
+// TestPaperShapes is the integration acceptance test: at reduced scale,
+// every experiment must reproduce the paper's qualitative findings (the
+// E1-E9 criteria in DESIGN.md, relaxed to the reduced sweep).
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test runs full workloads; skipped in -short")
+	}
+	s := NewSuite(ExperimentConfig{
+		ThreadCounts: []int{4, 16, 32},
+		Scale:        0.3,
+		Seed:         42,
+	})
+
+	// E6: classification matches the paper for all six benchmarks.
+	for _, w := range workload.All() {
+		sw, err := s.SweepFor(w.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := sw.Classify(DefaultSpeedupThreshold)
+		if !c.Matches() {
+			t.Errorf("E6 %s: verdict %v, paper says %v (max speedup %.2fx)",
+				w.Name, c.Scalable, c.PaperScalable, c.MaxSpeedup)
+		}
+	}
+
+	scalable := []string{"sunflow", "lusearch", "xalan"}
+	nonScalable := []string{"h2", "eclipse", "jython"}
+
+	// E1/E2: lock acquisitions and contentions grow for scalable apps,
+	// stay near-flat for non-scalable ones.
+	for _, name := range scalable {
+		sw, _ := s.SweepFor(name)
+		if g := metrics.GrowthFactor(sw.Acquisitions()); g < 1.15 {
+			t.Errorf("E1 %s: acquisition growth %.2fx, want >= 1.15x", name, g)
+		}
+		if g := metrics.GrowthFactor(sw.Contentions()); g < 2 {
+			t.Errorf("E2 %s: contention growth %.2fx, want >= 2x", name, g)
+		}
+	}
+	for _, name := range nonScalable {
+		sw, _ := s.SweepFor(name)
+		if g := metrics.GrowthFactor(sw.Acquisitions()); g > 1.3 {
+			t.Errorf("E1 %s: acquisition growth %.2fx, want flat (<1.3x)", name, g)
+		}
+		if g := metrics.GrowthFactor(sw.Contentions()); g > 2 {
+			t.Errorf("E2 %s: contention growth %.2fx, want near-flat", name, g)
+		}
+	}
+
+	// E3: eclipse's lifetime CDF at 1KB moves < 5 points.
+	ec, _ := s.SweepFor("eclipse")
+	ecCDF := ec.CDFBelow(1024)
+	if d := ecCDF[0] - ecCDF[len(ecCDF)-1]; d > 0.05 || d < -0.05 {
+		t.Errorf("E3 eclipse: CDF@1KB shifted %.1f points, want |shift| < 5", 100*d)
+	}
+
+	// E4: xalan's CDF@1KB declines by >= 10 points over the sweep.
+	xa, _ := s.SweepFor("xalan")
+	xaCDF := xa.CDFBelow(1024)
+	if d := xaCDF[0] - xaCDF[len(xaCDF)-1]; d < 0.10 {
+		t.Errorf("E4 xalan: CDF@1KB declined only %.1f points (%.2f -> %.2f), want >= 10",
+			100*d, xaCDF[0], xaCDF[len(xaCDF)-1])
+	}
+	if xaCDF[0] < 0.60 {
+		t.Errorf("E4 xalan: CDF@1KB at 4 threads %.2f, want >= 0.60", xaCDF[0])
+	}
+
+	// E5: for the scalable trio, mutator time decreases monotonically and
+	// GC time grows.
+	for _, name := range scalable {
+		sw, _ := s.SweepFor(name)
+		if !metrics.MonotoneDecreasing(sw.MutatorSeconds(), 0.02) {
+			t.Errorf("E5 %s: mutator time not decreasing: %v", name, sw.MutatorSeconds())
+		}
+		gcs := sw.GCSeconds()
+		if g := metrics.GrowthFactor(gcs); g < 1.05 {
+			t.Errorf("E5 %s: GC time growth %.2fx, want > 1.05x: %v", name, g, gcs)
+		}
+		f := sw.ComputeFactors()
+		if f.GCShareLast <= f.GCShareFirst {
+			t.Errorf("E5 %s: GC share did not grow (%.3f -> %.3f)",
+				name, f.GCShareFirst, f.GCShareLast)
+		}
+	}
+
+	// E7: work distribution — non-scalable apps concentrate work.
+	for _, name := range nonScalable {
+		sw, _ := s.SweepFor(name)
+		if f := sw.ComputeFactors(); f.Top4Share < 0.7 {
+			t.Errorf("E7 %s: top-4 share %.2f, want >= 0.7", name, f.Top4Share)
+		}
+	}
+	for _, name := range scalable {
+		sw, _ := s.SweepFor(name)
+		last := sw.Points[len(sw.Points)-1].Result
+		shares := make([]float64, len(last.PerThreadUnits))
+		for i, u := range last.PerThreadUnits {
+			shares[i] = float64(u)
+		}
+		if r := metrics.ImbalanceRatio(shares); r > 2 {
+			t.Errorf("E7 %s: imbalance %.2f, want <= 2 (near-uniform)", name, r)
+		}
+	}
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"fmt"
+
+	"javasim/internal/gc"
+	"javasim/internal/report"
+	"javasim/internal/sim"
+	"javasim/internal/vm"
+	"javasim/internal/workload"
+)
+
+// ExperimentConfig parameterizes the reproduction suite. The zero value
+// reproduces the paper's setup at full scale.
+type ExperimentConfig struct {
+	// ThreadCounts is the sweep; nil means the paper's {4,8,16,24,32,48}.
+	ThreadCounts []int
+	// Scale shrinks every workload (0 < Scale <= 1); 0 means full scale.
+	// Benchmarks and CI use reduced scales.
+	Scale float64
+	// Seed drives all randomness; 0 means 42.
+	Seed uint64
+	// Workloads restricts the benchmark set; nil means all six.
+	Workloads []workload.Spec
+}
+
+func (c ExperimentConfig) withDefaults() ExperimentConfig {
+	if len(c.ThreadCounts) == 0 {
+		c.ThreadCounts = DefaultThreadCounts
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = workload.All()
+	}
+	return c
+}
+
+// Suite lazily runs and caches the per-workload sweeps behind every
+// figure and table, so regenerating all artifacts costs one sweep per
+// workload.
+type Suite struct {
+	cfg    ExperimentConfig
+	sweeps map[string]*Sweep
+}
+
+// NewSuite builds a suite for the configuration.
+func NewSuite(cfg ExperimentConfig) *Suite {
+	return &Suite{cfg: cfg.withDefaults(), sweeps: map[string]*Sweep{}}
+}
+
+// Config returns the defaulted configuration.
+func (s *Suite) Config() ExperimentConfig { return s.cfg }
+
+// SweepFor returns the (cached) sweep of the named workload.
+func (s *Suite) SweepFor(name string) (*Sweep, error) {
+	if sw, ok := s.sweeps[name]; ok {
+		return sw, nil
+	}
+	var spec workload.Spec
+	found := false
+	for _, w := range s.cfg.Workloads {
+		if w.Name == name {
+			spec, found = w, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: workload %q not in suite", name)
+	}
+	sw, err := RunSweep(spec.Scale(s.cfg.Scale), SweepConfig{
+		ThreadCounts: s.cfg.ThreadCounts,
+		Base:         vm.Config{Seed: s.cfg.Seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sweeps[name] = sw
+	return sw, nil
+}
+
+func (s *Suite) threadHeaders(key string) []string {
+	hs := []string{key}
+	for _, n := range s.cfg.ThreadCounts {
+		hs = append(hs, fmt.Sprintf("t=%d", n))
+	}
+	return hs
+}
+
+// seriesTable renders one number per (workload, thread count).
+func (s *Suite) seriesTable(title, key string, f func(*Sweep) []float64, format func(float64) string) (*report.Table, error) {
+	t := &report.Table{Title: title, Headers: s.threadHeaders(key)}
+	for _, w := range s.cfg.Workloads {
+		sw, err := s.SweepFor(w.Name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{w.Name}
+		for _, v := range f(sw) {
+			row = append(row, format(v))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig1a reproduces Figure 1a: total lock acquisitions per run versus
+// thread count, for all six benchmarks.
+func (s *Suite) Fig1a() (*report.Table, error) {
+	t, err := s.seriesTable(
+		"Figure 1a — lock acquisitions vs threads",
+		"workload",
+		func(sw *Sweep) []float64 { return sw.Acquisitions() },
+		func(v float64) string { return report.FormatCount(int64(v)) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	t.Note = "paper: acquisitions grow with threads for scalable apps, flat for non-scalable"
+	return t, nil
+}
+
+// Fig1b reproduces Figure 1b: lock contention instances versus threads.
+func (s *Suite) Fig1b() (*report.Table, error) {
+	t, err := s.seriesTable(
+		"Figure 1b — lock contentions vs threads",
+		"workload",
+		func(sw *Sweep) []float64 { return sw.Contentions() },
+		func(v float64) string { return report.FormatCount(int64(v)) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	t.Note = "paper: contentions grow with threads for scalable apps, flat for non-scalable"
+	return t, nil
+}
+
+// cdfLimits are the lifespan bucket boundaries (bytes) used for the
+// Figure 1c/1d distributions.
+var cdfLimits = []int64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// LifespanCDF reproduces a Figure 1c/1d panel: the cumulative lifespan
+// distribution of one workload at two thread counts.
+func (s *Suite) LifespanCDF(name string, lowThreads, highThreads int) (*report.Table, error) {
+	sw, err := s.SweepFor(name)
+	if err != nil {
+		return nil, err
+	}
+	var low, high *vm.Result
+	for _, p := range sw.Points {
+		if p.Threads == lowThreads {
+			low = p.Result
+		}
+		if p.Threads == highThreads {
+			high = p.Result
+		}
+	}
+	if low == nil || high == nil {
+		return nil, fmt.Errorf("core: thread counts %d/%d not in sweep for %s",
+			lowThreads, highThreads, name)
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("%s object lifetime CDF (%% of objects with lifespan < X bytes)", name),
+		Headers: []string{"lifespan <",
+			fmt.Sprintf("%d threads", lowThreads),
+			fmt.Sprintf("%d threads", highThreads)},
+	}
+	for _, lim := range cdfLimits {
+		t.AddRow(formatBytes(lim),
+			report.FormatPct(low.Lifespans.FractionBelow(lim)),
+			report.FormatPct(high.Lifespans.FractionBelow(lim)))
+	}
+	return t, nil
+}
+
+// Fig1c reproduces Figure 1c: eclipse's lifetime CDF at 4 vs 48 threads
+// (insensitive to thread count — non-scalable).
+func (s *Suite) Fig1c() (*report.Table, error) {
+	lo, hi := s.loHi()
+	t, err := s.LifespanCDF("eclipse", lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	t.Title = "Figure 1c — " + t.Title
+	t.Note = "paper: eclipse's distribution shows almost no change with thread count"
+	return t, nil
+}
+
+// Fig1d reproduces Figure 1d: xalan's lifetime CDF at 4 vs 48 threads
+// (lifespans stretch as threads scale — the paper's headline GC finding).
+func (s *Suite) Fig1d() (*report.Table, error) {
+	lo, hi := s.loHi()
+	t, err := s.LifespanCDF("xalan", lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	t.Title = "Figure 1d — " + t.Title
+	t.Note = "paper: xalan drops from >80% of objects <1KB at 4 threads to ~50% at 48"
+	return t, nil
+}
+
+func (s *Suite) loHi() (int, int) {
+	tc := s.cfg.ThreadCounts
+	return tc[0], tc[len(tc)-1]
+}
+
+// Fig2 reproduces Figure 2: the mutator/GC time split of the scalable
+// trio across the thread sweep.
+func (s *Suite) Fig2() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 2 — distribution of mutator and GC times (scalable applications)",
+		Headers: []string{"workload", "threads", "mutator", "gc", "gc-share", "minor", "full"},
+		Note:    "paper: mutator time keeps falling through 48 threads while GC time grows",
+	}
+	for _, name := range []string{"sunflow", "lusearch", "xalan"} {
+		if !s.hasWorkload(name) {
+			continue
+		}
+		sw, err := s.SweepFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range sw.Points {
+			r := p.Result
+			t.AddRow(name, fmt.Sprintf("%d", p.Threads),
+				r.MutatorTime.String(), r.GCTime.String(),
+				report.FormatPct(r.GCShare()),
+				fmt.Sprintf("%d", r.GCStats.MinorCount),
+				fmt.Sprintf("%d", r.GCStats.FullCount))
+		}
+	}
+	return t, nil
+}
+
+// Fig2Chart renders Figure 2 as an ASCII chart: per scalable workload,
+// the mutator and GC time series against the thread sweep — the quickest
+// way to eyeball the crossing shapes in a terminal.
+func (s *Suite) Fig2Chart() ([]*report.Chart, error) {
+	var out []*report.Chart
+	for _, name := range []string{"sunflow", "lusearch", "xalan"} {
+		if !s.hasWorkload(name) {
+			continue
+		}
+		sw, err := s.SweepFor(name)
+		if err != nil {
+			return nil, err
+		}
+		ticks := make([]string, len(sw.Points))
+		for i, p := range sw.Points {
+			ticks[i] = fmt.Sprintf("%d", p.Threads)
+		}
+		mut := sw.MutatorSeconds()
+		gcs := sw.GCSeconds()
+		ms := func(xs []float64) []float64 {
+			out := make([]float64, len(xs))
+			for i, x := range xs {
+				out[i] = x * 1000
+			}
+			return out
+		}
+		out = append(out, &report.Chart{
+			Title:  fmt.Sprintf("Figure 2 — %s: mutator vs GC time (ms)", name),
+			XLabel: "threads (= cores)",
+			XTicks: ticks,
+			Series: []report.Series{
+				{Name: "mutator ms", Points: ms(mut)},
+				{Name: "gc ms", Points: ms(gcs)},
+			},
+		})
+	}
+	return out, nil
+}
+
+func (s *Suite) hasWorkload(name string) bool {
+	for _, w := range s.cfg.Workloads {
+		if w.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassificationTable reproduces the §II-C characterization: which
+// applications are scalable, with speedups and the paper agreement check.
+func (s *Suite) ClassificationTable() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table — scalability classification (paper §II-C)",
+		Headers: []string{"workload", "max-speedup", "at-threads", "final-eff", "verdict", "paper", "match"},
+	}
+	for _, w := range s.cfg.Workloads {
+		sw, err := s.SweepFor(w.Name)
+		if err != nil {
+			return nil, err
+		}
+		c := sw.Classify(DefaultSpeedupThreshold)
+		verdict := map[bool]string{true: "scalable", false: "non-scalable"}
+		t.AddRow(c.Name,
+			fmt.Sprintf("%.2fx", c.MaxSpeedup),
+			fmt.Sprintf("%d", c.AtThreads),
+			fmt.Sprintf("%.2f", c.FinalEfficiency),
+			verdict[c.Scalable], verdict[c.PaperScalable],
+			map[bool]string{true: "yes", false: "NO"}[c.Matches()])
+	}
+	return t, nil
+}
+
+// WorkDistributionTable reproduces the §III workload-distribution
+// observation: non-scalable applications concentrate work in 3-4 threads.
+func (s *Suite) WorkDistributionTable() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table — per-thread work distribution at the largest thread count",
+		Headers: []string{"workload", "threads", "busy-threads", "top4-share", "max/mean"},
+		Note:    "paper §III: jython uses 3-4 threads for most work; xalan/lusearch/sunflow are near-uniform",
+	}
+	for _, w := range s.cfg.Workloads {
+		sw, err := s.SweepFor(w.Name)
+		if err != nil {
+			return nil, err
+		}
+		last := sw.Points[len(sw.Points)-1]
+		shares := make([]float64, len(last.Result.PerThreadUnits))
+		busy := 0
+		for i, u := range last.Result.PerThreadUnits {
+			shares[i] = float64(u)
+			if u > 0 {
+				busy++
+			}
+		}
+		f := sw.ComputeFactors()
+		t.AddRow(w.Name, fmt.Sprintf("%d", last.Threads), fmt.Sprintf("%d", busy),
+			report.FormatPct(f.Top4Share),
+			fmt.Sprintf("%.2f", imbalance(shares)))
+	}
+	return t, nil
+}
+
+func imbalance(shares []float64) float64 {
+	var max, sum float64
+	for _, s := range shares {
+		if s > max {
+			max = s
+		}
+		sum += s
+	}
+	if sum == 0 || len(shares) == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(shares)))
+}
+
+// FactorsTable summarizes the factor decomposition for every workload —
+// the paper's analysis condensed to one row per benchmark.
+func (s *Suite) FactorsTable() (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table — scalability factor decomposition",
+		Headers: []string{"workload", "amdahl-f", "acq-growth", "cont-growth",
+			"gc-growth", "gc-share", "lifespan-shift", "lifespan-ks", "top4-share"},
+	}
+	for _, w := range s.cfg.Workloads {
+		sw, err := s.SweepFor(w.Name)
+		if err != nil {
+			return nil, err
+		}
+		f := sw.ComputeFactors()
+		t.AddRow(w.Name,
+			fmt.Sprintf("%.3f", f.SequentialFraction),
+			fmt.Sprintf("%.2fx", f.AcquisitionGrowth),
+			fmt.Sprintf("%.2fx", f.ContentionGrowth),
+			fmt.Sprintf("%.2fx", f.GCTimeGrowth),
+			report.FormatPct(f.GCShareFirst)+"->"+report.FormatPct(f.GCShareLast),
+			fmt.Sprintf("%+.1fpt", 100*f.LifespanShift),
+			fmt.Sprintf("%.3f", f.LifespanKS),
+			report.FormatPct(f.Top4Share))
+	}
+	return t, nil
+}
+
+// AblationBias evaluates the paper's first future-work proposal (§IV):
+// phase-biased scheduling, which staggers worker-thread groups in time to
+// reduce lifetime interference. Reported on xalan at the largest count.
+func (s *Suite) AblationBias() (*report.Table, error) {
+	return s.ablation("Ablation — phase-biased scheduling (paper §IV, suggestion 1)",
+		func(cfg *vm.Config) {
+			cfg.Sched.Bias.Groups = 2
+			cfg.Sched.Bias.PhaseLength = 2 * sim.Millisecond
+		},
+		"paper hypothesis: staggering threads shortens lifespans and cuts contention at some throughput cost")
+}
+
+// AblationCompartments evaluates the paper's second future-work proposal
+// (§IV): a compartmentalized heap isolating thread groups' objects, which
+// should shorten collection pauses.
+func (s *Suite) AblationCompartments() (*report.Table, error) {
+	return s.ablation("Ablation — compartmentalized heap (paper §IV, suggestion 2)",
+		func(cfg *vm.Config) { cfg.Compartments = 4 },
+		"paper hypothesis: per-group heap compartments shorten GC pause times")
+}
+
+func (s *Suite) ablation(title string, modify func(*vm.Config), note string) (*report.Table, error) {
+	spec, ok := workload.ByName("xalan")
+	if !ok {
+		return nil, fmt.Errorf("core: xalan spec missing")
+	}
+	spec = spec.Scale(s.cfg.Scale)
+	_, hi := s.loHi()
+
+	runOne := func(mod func(*vm.Config)) (*vm.Result, error) {
+		cfg := vm.Config{Seed: s.cfg.Seed, Threads: hi}
+		if mod != nil {
+			mod(&cfg)
+		}
+		return vm.Run(spec, cfg)
+	}
+	base, err := runOne(nil)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := runOne(modify)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &report.Table{
+		Title:   title + fmt.Sprintf(" — xalan @ %d threads", hi),
+		Headers: []string{"metric", "baseline", "modified"},
+		Note:    note,
+	}
+	t.AddRow("total time", base.TotalTime.String(), mod.TotalTime.String())
+	t.AddRow("gc time", base.GCTime.String(), mod.GCTime.String())
+	t.AddRow("mean gc pause", meanPause(base.GCPauses).String(), meanPause(mod.GCPauses).String())
+	t.AddRow("max gc pause", maxPause(base.GCPauses).String(), maxPause(mod.GCPauses).String())
+	t.AddRow("collections", fmt.Sprintf("%d", len(base.GCPauses)), fmt.Sprintf("%d", len(mod.GCPauses)))
+	t.AddRow("lifespan cdf@1KB", report.FormatPct(base.Lifespans.FractionBelow(1024)),
+		report.FormatPct(mod.Lifespans.FractionBelow(1024)))
+	t.AddRow("mean lifespan", formatBytes(int64(base.Lifespans.Mean())), formatBytes(int64(mod.Lifespans.Mean())))
+	t.AddRow("lock contentions", report.FormatCount(base.LockContentions), report.FormatCount(mod.LockContentions))
+	t.AddRow("utilization", fmt.Sprintf("%.2f", base.Utilization), fmt.Sprintf("%.2f", mod.Utilization))
+	return t, nil
+}
+
+func meanPause(ps []gc.Pause) sim.Time {
+	if len(ps) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, p := range ps {
+		sum += p.Duration
+	}
+	return sum / sim.Time(len(ps))
+}
+
+func maxPause(ps []gc.Pause) sim.Time {
+	var m sim.Time
+	for _, p := range ps {
+		if p.Duration > m {
+			m = p.Duration
+		}
+	}
+	return m
+}
+
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// AllArtifacts regenerates every figure and table in DESIGN.md's
+// experiment index, in order.
+func (s *Suite) AllArtifacts() ([]*report.Table, error) {
+	gens := []func() (*report.Table, error){
+		s.Fig1a, s.Fig1b, s.Fig1c, s.Fig1d, s.Fig2,
+		s.ClassificationTable, s.WorkDistributionTable, s.FactorsTable,
+		s.AblationBias, s.AblationCompartments,
+	}
+	var out []*report.Table
+	for _, g := range gens {
+		t, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package heap
+
+import "testing"
+
+// BenchmarkTLABAlloc measures the bump-pointer fast path including
+// periodic refills.
+func BenchmarkTLABAlloc(b *testing.B) {
+	h := New(Config{MinHeap: 256 << 20, Factor: 3, TLABSize: 64 << 10})
+	var tlab TLAB
+	h.RefillTLAB(&tlab, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !tlab.Alloc(96) {
+			if !h.RefillTLAB(&tlab, 0) {
+				h.CommitMinor(0, 0, 0, 0)
+				h.RefillTLAB(&tlab, 0)
+			}
+			tlab.Alloc(96)
+		}
+	}
+}
+
+// BenchmarkCommitMinor measures the space bookkeeping of a collection.
+func BenchmarkCommitMinor(b *testing.B) {
+	h := New(Config{MinHeap: 256 << 20, Factor: 3})
+	for i := 0; i < b.N; i++ {
+		if err := h.CommitMinor(0, 1<<20, 64<<10, 1<<20); err != nil {
+			h.CommitFull(0)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package lockprof is the simulator's answer to the DTrace lock probes the
+// paper used (§II-B): it observes every monitor event through the
+// locks.Listener interface and aggregates per-lock acquisition counts,
+// contention counts, and wait/hold time statistics.
+package lockprof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"javasim/internal/locks"
+	"javasim/internal/metrics"
+	"javasim/internal/sim"
+)
+
+// LockStats accumulates per-monitor counters.
+type LockStats struct {
+	ID           int
+	Name         string
+	State        locks.LockState
+	BiasedAcqs   int64
+	Revocations  int64
+	Acquisitions int64
+	Contentions  int64
+	TotalWait    sim.Time
+	MaxWait      sim.Time
+	TotalHold    sim.Time
+	MaxHold      sim.Time
+	Releases     int64
+	Handoffs     int64
+}
+
+// ContentionRate returns contentions per acquisition.
+func (s *LockStats) ContentionRate() float64 {
+	if s.Acquisitions == 0 {
+		return 0
+	}
+	return float64(s.Contentions) / float64(s.Acquisitions)
+}
+
+// MeanWait returns the mean time a contended acquire spent parked.
+func (s *LockStats) MeanWait() sim.Time {
+	if s.Handoffs == 0 {
+		return 0
+	}
+	return s.TotalWait / sim.Time(s.Handoffs)
+}
+
+// MeanHold returns the mean time the monitor was held per release.
+func (s *LockStats) MeanHold() sim.Time {
+	if s.Releases == 0 {
+		return 0
+	}
+	return s.TotalHold / sim.Time(s.Releases)
+}
+
+// Profiler implements locks.Listener and aggregates statistics. It is not
+// safe for concurrent use; the simulation kernel is single-threaded.
+type Profiler struct {
+	stats    []*LockStats
+	waitHist *metrics.Histogram
+	holdHist *metrics.Histogram
+}
+
+var _ locks.Listener = (*Profiler)(nil)
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{
+		waitHist: metrics.NewHistogram("lock-wait-ns"),
+		holdHist: metrics.NewHistogram("lock-hold-ns"),
+	}
+}
+
+func (p *Profiler) statsFor(m *locks.Monitor) *LockStats {
+	for len(p.stats) <= m.ID() {
+		p.stats = append(p.stats, nil)
+	}
+	s := p.stats[m.ID()]
+	if s == nil {
+		s = &LockStats{ID: m.ID(), Name: m.Name()}
+		p.stats[m.ID()] = s
+	}
+	return s
+}
+
+// OnAcquire implements locks.Listener.
+func (p *Profiler) OnAcquire(m *locks.Monitor, t locks.ThreadID, contended bool, now sim.Time) {
+	s := p.statsFor(m)
+	s.Acquisitions++
+	if contended {
+		s.Contentions++
+	}
+	// The lock-state machine only advances on acquisition; mirror it.
+	s.State = m.State()
+	s.BiasedAcqs = m.BiasedAcquisitions()
+	s.Revocations = m.Revocations()
+}
+
+// OnHandoff implements locks.Listener.
+func (p *Profiler) OnHandoff(m *locks.Monitor, t locks.ThreadID, waited sim.Time) {
+	s := p.statsFor(m)
+	s.Handoffs++
+	s.TotalWait += waited
+	if waited > s.MaxWait {
+		s.MaxWait = waited
+	}
+	p.waitHist.Add(int64(waited))
+}
+
+// OnRelease implements locks.Listener.
+func (p *Profiler) OnRelease(m *locks.Monitor, t locks.ThreadID, held sim.Time) {
+	s := p.statsFor(m)
+	s.Releases++
+	s.TotalHold += held
+	if held > s.MaxHold {
+		s.MaxHold = held
+	}
+	p.holdHist.Add(int64(held))
+}
+
+// Summary is the whole-run aggregate.
+type Summary struct {
+	Locks         int
+	Acquisitions  int64
+	Contentions   int64
+	TotalWait     sim.Time
+	TotalHold     sim.Time
+	MeanWait      sim.Time
+	ContendedRate float64
+}
+
+// Summary aggregates across all observed locks.
+func (p *Profiler) Summary() Summary {
+	var out Summary
+	var handoffs int64
+	for _, s := range p.stats {
+		if s == nil {
+			continue
+		}
+		out.Locks++
+		out.Acquisitions += s.Acquisitions
+		out.Contentions += s.Contentions
+		out.TotalWait += s.TotalWait
+		out.TotalHold += s.TotalHold
+		handoffs += s.Handoffs
+	}
+	if handoffs > 0 {
+		out.MeanWait = out.TotalWait / sim.Time(handoffs)
+	}
+	if out.Acquisitions > 0 {
+		out.ContendedRate = float64(out.Contentions) / float64(out.Acquisitions)
+	}
+	return out
+}
+
+// PerLock returns a copy of the per-lock stats, sorted by descending
+// contention count.
+func (p *Profiler) PerLock() []LockStats {
+	var out []LockStats
+	for _, s := range p.stats {
+		if s != nil {
+			out = append(out, *s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Contentions != out[j].Contentions {
+			return out[i].Contentions > out[j].Contentions
+		}
+		return out[i].Acquisitions > out[j].Acquisitions
+	})
+	return out
+}
+
+// TopByContention returns up to n hottest locks.
+func (p *Profiler) TopByContention(n int) []LockStats {
+	all := p.PerLock()
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// WaitHistogram returns the distribution of contended wait times (ns).
+func (p *Profiler) WaitHistogram() *metrics.Histogram { return p.waitHist }
+
+// HoldHistogram returns the distribution of hold times (ns).
+func (p *Profiler) HoldHistogram() *metrics.Histogram { return p.holdHist }
+
+// Report writes a DTrace-style table of the hottest locks to w.
+func (p *Profiler) Report(w io.Writer, topN int) {
+	sum := p.Summary()
+	fmt.Fprintf(w, "lock profile: %d locks, %d acquisitions, %d contentions (%.2f%%)\n",
+		sum.Locks, sum.Acquisitions, sum.Contentions, 100*sum.ContendedRate)
+	fmt.Fprintf(w, "%-28s %-9s %12s %12s %10s %12s %12s\n",
+		"LOCK", "STATE", "ACQUIRES", "CONTENDED", "RATE", "MEAN-WAIT", "MEAN-HOLD")
+	for _, s := range p.TopByContention(topN) {
+		fmt.Fprintf(w, "%-28s %-9s %12d %12d %9.2f%% %12v %12v\n",
+			s.Name, s.State, s.Acquisitions, s.Contentions, 100*s.ContentionRate(),
+			s.MeanWait(), s.MeanHold())
+	}
+}

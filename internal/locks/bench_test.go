@@ -1,0 +1,27 @@
+package locks
+
+import "testing"
+
+// BenchmarkUncontendedAcquireRelease measures the monitor fast path.
+func BenchmarkUncontendedAcquireRelease(b *testing.B) {
+	tb := NewTable(nil)
+	m := tb.Create("bench")
+	for i := 0; i < b.N; i++ {
+		tb.Acquire(m, 1, 0)
+		tb.Release(m, 1, 1)
+	}
+}
+
+// BenchmarkContendedHandoff measures the slow path: a blocked waiter
+// receiving ownership on every release.
+func BenchmarkContendedHandoff(b *testing.B) {
+	tb := NewTable(nil)
+	m := tb.Create("bench")
+	tb.Acquire(m, 0, 0)
+	for i := 0; i < b.N; i++ {
+		next := ThreadID(i%7 + 1)
+		tb.Acquire(m, next, 0) // blocks
+		owner := m.Owner()
+		tb.Release(m, owner, 1) // hands off to next
+	}
+}

@@ -1,0 +1,272 @@
+// Package locks models Java object monitors — the synchronization
+// primitive behind synchronized blocks — the way HotSpot implements them:
+// an uncontended fast path, and a contended slow path that parks the
+// acquiring thread on a FIFO entry queue until the owner releases.
+//
+// A contention instance, matching the DTrace monitor-contended-enter probe
+// the paper counts in Figure 1b, is an acquisition attempt that finds the
+// monitor held by another thread.
+package locks
+
+import (
+	"fmt"
+
+	"javasim/internal/sim"
+)
+
+// ThreadID identifies a mutator thread. NoThread means "unowned".
+type ThreadID int32
+
+// NoThread is the owner of a free monitor.
+const NoThread ThreadID = -1
+
+// Outcome is the result of an acquisition attempt.
+type Outcome int
+
+const (
+	// Acquired means the thread now owns the monitor (fast path or
+	// reentrant).
+	Acquired Outcome = iota
+	// Blocked means the monitor was contended; the thread was appended to
+	// the entry queue and must not run until handed ownership.
+	Blocked
+)
+
+// LockState is the HotSpot-era synchronization state of a monitor. Every
+// monitor starts biasable: the first acquiring thread biases it to itself
+// and reacquires for free. A second thread revokes the bias (in the real
+// JVM, a safepoint operation) and the monitor becomes a thin lock; the
+// first contended acquisition inflates it to a full monitor with an entry
+// queue. States only escalate — HotSpot 7 never deflated.
+type LockState uint8
+
+const (
+	// StateBiasable is the initial state: no owner has been recorded.
+	StateBiasable LockState = iota
+	// StateBiased means one thread has acquired and reacquires cheaply.
+	StateBiased
+	// StateThin means multiple threads have used the lock, uncontended.
+	StateThin
+	// StateInflated means the lock has seen contention and carries a full
+	// entry queue.
+	StateInflated
+)
+
+// String names the state.
+func (s LockState) String() string {
+	switch s {
+	case StateBiasable:
+		return "biasable"
+	case StateBiased:
+		return "biased"
+	case StateThin:
+		return "thin"
+	case StateInflated:
+		return "inflated"
+	default:
+		return "invalid"
+	}
+}
+
+// Listener observes lock events; the lockprof package implements it. A nil
+// listener is legal and costs only a branch.
+type Listener interface {
+	// OnAcquire fires on every acquisition attempt. contended reports
+	// whether the attempt found the monitor held by another thread.
+	OnAcquire(m *Monitor, t ThreadID, contended bool, now sim.Time)
+	// OnHandoff fires when a blocked thread is granted ownership,
+	// reporting how long it waited.
+	OnHandoff(m *Monitor, t ThreadID, waited sim.Time)
+	// OnRelease fires when a thread fully releases the monitor, reporting
+	// how long it held it.
+	OnRelease(m *Monitor, t ThreadID, held sim.Time)
+}
+
+// Monitor is one Java object monitor.
+type Monitor struct {
+	id   int
+	name string
+
+	owner     ThreadID
+	recursion int
+
+	waiters      []ThreadID
+	enqueueTimes []sim.Time
+
+	acquiredAt sim.Time
+
+	// acquisitions and contentions are the two Figure 1 counters.
+	acquisitions int64
+	contentions  int64
+
+	// Lock-state machine (biased -> thin -> inflated).
+	state     LockState
+	biasOwner ThreadID
+	// biasedAcqs counts acquisitions served by the bias fast path;
+	// revocations counts bias revocations (each a safepoint operation in
+	// the real JVM).
+	biasedAcqs  int64
+	revocations int64
+}
+
+// State returns the monitor's synchronization state.
+func (m *Monitor) State() LockState { return m.state }
+
+// BiasedAcquisitions returns acquisitions served by the bias fast path.
+func (m *Monitor) BiasedAcquisitions() int64 { return m.biasedAcqs }
+
+// Revocations returns how many times a bias was revoked (0 or 1 per
+// monitor in this model, matching HotSpot's escalate-only states).
+func (m *Monitor) Revocations() int64 { return m.revocations }
+
+// ID returns the monitor's table index.
+func (m *Monitor) ID() int { return m.id }
+
+// Name returns the human-readable label (e.g. "xalan.workQueue").
+func (m *Monitor) Name() string { return m.name }
+
+// Owner returns the current owner, or NoThread.
+func (m *Monitor) Owner() ThreadID { return m.owner }
+
+// QueueLength returns the number of threads parked on the entry queue.
+func (m *Monitor) QueueLength() int { return len(m.waiters) }
+
+// Acquisitions returns the total acquisition attempts (Figure 1a counter).
+func (m *Monitor) Acquisitions() int64 { return m.acquisitions }
+
+// Contentions returns the total contended attempts (Figure 1b counter).
+func (m *Monitor) Contentions() int64 { return m.contentions }
+
+// Table owns all monitors of one VM instance.
+type Table struct {
+	monitors []*Monitor
+	listener Listener
+}
+
+// NewTable returns an empty monitor table reporting to listener (which may
+// be nil).
+func NewTable(listener Listener) *Table {
+	return &Table{listener: listener}
+}
+
+// Create registers a new monitor with a diagnostic name.
+func (tb *Table) Create(name string) *Monitor {
+	m := &Monitor{id: len(tb.monitors), name: name, owner: NoThread, biasOwner: NoThread}
+	tb.monitors = append(tb.monitors, m)
+	return m
+}
+
+// Get returns monitor i.
+func (tb *Table) Get(i int) *Monitor { return tb.monitors[i] }
+
+// Len returns the number of monitors.
+func (tb *Table) Len() int { return len(tb.monitors) }
+
+// ForEach visits every monitor in creation order.
+func (tb *Table) ForEach(fn func(*Monitor)) {
+	for _, m := range tb.monitors {
+		fn(m)
+	}
+}
+
+// TotalAcquisitions sums acquisitions across all monitors.
+func (tb *Table) TotalAcquisitions() int64 {
+	var n int64
+	for _, m := range tb.monitors {
+		n += m.acquisitions
+	}
+	return n
+}
+
+// TotalContentions sums contentions across all monitors.
+func (tb *Table) TotalContentions() int64 {
+	var n int64
+	for _, m := range tb.monitors {
+		n += m.contentions
+	}
+	return n
+}
+
+// Acquire attempts to take m for thread t at the current time. If the
+// monitor is free it is granted immediately; if t already owns it the
+// recursion count grows; otherwise t is appended to the entry queue and
+// Blocked is returned — the caller must deschedule t until Release hands
+// it the monitor.
+func (tb *Table) Acquire(m *Monitor, t ThreadID, now sim.Time) Outcome {
+	m.acquisitions++
+	// Advance the lock-state machine before the ownership decision.
+	switch m.state {
+	case StateBiasable:
+		m.state = StateBiased
+		m.biasOwner = t
+		m.biasedAcqs++
+	case StateBiased:
+		if m.biasOwner == t {
+			m.biasedAcqs++
+		} else {
+			m.revocations++
+			m.state = StateThin
+		}
+	}
+	switch m.owner {
+	case NoThread:
+		m.owner = t
+		m.recursion = 1
+		m.acquiredAt = now
+		if tb.listener != nil {
+			tb.listener.OnAcquire(m, t, false, now)
+		}
+		return Acquired
+	case t:
+		m.recursion++
+		if tb.listener != nil {
+			tb.listener.OnAcquire(m, t, false, now)
+		}
+		return Acquired
+	default:
+		m.state = StateInflated
+		m.contentions++
+		m.waiters = append(m.waiters, t)
+		m.enqueueTimes = append(m.enqueueTimes, now)
+		if tb.listener != nil {
+			tb.listener.OnAcquire(m, t, true, now)
+		}
+		return Blocked
+	}
+}
+
+// Release drops one recursion level of m held by t. When the outermost
+// hold is released and waiters are queued, ownership transfers directly to
+// the head waiter (deterministic FIFO handoff) and that thread's ID is
+// returned with handoff = true; the caller must make it runnable again.
+// Releasing a monitor not owned by t panics — that is a VM logic bug, the
+// analogue of IllegalMonitorStateException.
+func (tb *Table) Release(m *Monitor, t ThreadID, now sim.Time) (next ThreadID, handoff bool) {
+	if m.owner != t {
+		panic(fmt.Sprintf("locks: thread %d releasing monitor %q owned by %d", t, m.name, m.owner))
+	}
+	m.recursion--
+	if m.recursion > 0 {
+		return NoThread, false
+	}
+	if tb.listener != nil {
+		tb.listener.OnRelease(m, t, now-m.acquiredAt)
+	}
+	if len(m.waiters) == 0 {
+		m.owner = NoThread
+		return NoThread, false
+	}
+	next = m.waiters[0]
+	waited := now - m.enqueueTimes[0]
+	copy(m.waiters, m.waiters[1:])
+	m.waiters = m.waiters[:len(m.waiters)-1]
+	copy(m.enqueueTimes, m.enqueueTimes[1:])
+	m.enqueueTimes = m.enqueueTimes[:len(m.enqueueTimes)-1]
+	m.owner = next
+	m.recursion = 1
+	m.acquiredAt = now
+	if tb.listener != nil {
+		tb.listener.OnHandoff(m, next, waited)
+	}
+	return next, true
+}

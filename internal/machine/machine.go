@@ -1,0 +1,177 @@
+// Package machine models the hardware testbed: a cache-coherent NUMA
+// multiprocessor composed of sockets, each holding a set of cores and a
+// local memory node.
+//
+// The paper's experiments ran on a four-socket AMD Opteron 6168 system (12
+// cores per socket, 48 cores total, 64 GB RAM). Opteron6168 reproduces that
+// topology. The model captures the properties the experiments depend on —
+// core counts, socket locality, and the relative cost of local versus
+// remote memory access — not microarchitectural detail.
+package machine
+
+import (
+	"fmt"
+
+	"javasim/internal/sim"
+)
+
+// Config describes a NUMA machine.
+type Config struct {
+	// Sockets is the number of processor packages; each is one NUMA node.
+	Sockets int
+	// CoresPerSocket is the number of cores in each package.
+	CoresPerSocket int
+	// MemoryPerNode is the RAM attached to each socket, in bytes.
+	MemoryPerNode int64
+	// LocalAccess is the cost of a memory access that hits the socket's own
+	// node.
+	LocalAccess sim.Time
+	// RemoteAccessPerHop is the additional cost per interconnect hop for an
+	// access to another socket's node.
+	RemoteAccessPerHop sim.Time
+	// MigrationCost is the scheduling penalty when a thread moves between
+	// cores: cache and TLB refill expressed as a lump sum. Cross-socket
+	// migrations additionally pay RemoteAccessPerHop-scaled costs through
+	// the latency model.
+	MigrationCost sim.Time
+}
+
+// Opteron6168 returns the configuration of the paper's testbed: four AMD
+// Opteron 6168 sockets, 12 cores each, 64 GB total RAM. Latency magnitudes
+// follow the published ~1.4–2.2x local-to-remote NUMA factor for that
+// platform generation.
+func Opteron6168() Config {
+	return Config{
+		Sockets:            4,
+		CoresPerSocket:     12,
+		MemoryPerNode:      16 << 30, // 64 GB / 4 nodes
+		LocalAccess:        65 * sim.Nanosecond,
+		RemoteAccessPerHop: 45 * sim.Nanosecond,
+		MigrationCost:      3 * sim.Microsecond,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.Sockets <= 0 {
+		return fmt.Errorf("machine: Sockets = %d, need > 0", c.Sockets)
+	}
+	if c.CoresPerSocket <= 0 {
+		return fmt.Errorf("machine: CoresPerSocket = %d, need > 0", c.CoresPerSocket)
+	}
+	if c.MemoryPerNode <= 0 {
+		return fmt.Errorf("machine: MemoryPerNode = %d, need > 0", c.MemoryPerNode)
+	}
+	if c.LocalAccess < 0 || c.RemoteAccessPerHop < 0 || c.MigrationCost < 0 {
+		return fmt.Errorf("machine: negative latency in config")
+	}
+	return nil
+}
+
+// TotalCores returns Sockets * CoresPerSocket.
+func (c Config) TotalCores() int { return c.Sockets * c.CoresPerSocket }
+
+// Core is one processing core. Utilization accounting is filled in by the
+// scheduler as threads run.
+type Core struct {
+	// ID is the global core index in socket-major order.
+	ID int
+	// Socket is the package (and NUMA node) holding this core.
+	Socket int
+	// Enabled reports whether the experiment has switched this core on.
+	// The paper enables subsets of cores to sweep machine sizes.
+	Enabled bool
+	// BusyTime accumulates virtual time during which a thread occupied the
+	// core.
+	BusyTime sim.Time
+}
+
+// Machine is an instantiated NUMA system.
+type Machine struct {
+	cfg   Config
+	cores []Core
+}
+
+// New builds a machine from cfg with every core enabled. It panics if the
+// configuration is invalid; machines are constructed from static presets or
+// validated experiment configs.
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{cfg: cfg, cores: make([]Core, cfg.TotalCores())}
+	for i := range m.cores {
+		m.cores[i] = Core{ID: i, Socket: i / cfg.CoresPerSocket, Enabled: true}
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumCores returns the total number of cores, enabled or not.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// NumSockets returns the number of sockets.
+func (m *Machine) NumSockets() int { return m.cfg.Sockets }
+
+// Core returns the core with the given global index.
+func (m *Machine) Core(i int) *Core { return &m.cores[i] }
+
+// EnableCores switches on the first n cores in socket-major order and
+// disables the rest, mirroring how the paper's experiments enabled core
+// subsets (fill one socket before spilling to the next). It returns an
+// error if n is out of range.
+func (m *Machine) EnableCores(n int) error {
+	if n < 1 || n > len(m.cores) {
+		return fmt.Errorf("machine: EnableCores(%d) out of range [1,%d]", n, len(m.cores))
+	}
+	for i := range m.cores {
+		m.cores[i].Enabled = i < n
+	}
+	return nil
+}
+
+// EnabledCores returns the indices of all enabled cores in order.
+func (m *Machine) EnabledCores() []int {
+	out := make([]int, 0, len(m.cores))
+	for i := range m.cores {
+		if m.cores[i].Enabled {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SocketOf returns the socket index of a core.
+func (m *Machine) SocketOf(core int) int { return m.cores[core].Socket }
+
+// Distance returns the number of interconnect hops between two sockets.
+// The Opteron 6100 HyperTransport mesh keeps every socket within one hop of
+// every other, so distance is 0 (same socket) or 1 (different socket).
+// Larger systems could override this with a routed topology; the
+// experiments here need only the local/remote distinction.
+func (m *Machine) Distance(socketA, socketB int) int {
+	if socketA == socketB {
+		return 0
+	}
+	return 1
+}
+
+// MemoryLatency returns the cost of one memory access issued by core
+// against the memory node of socket node.
+func (m *Machine) MemoryLatency(core, node int) sim.Time {
+	hops := m.Distance(m.cores[core].Socket, node)
+	return m.cfg.LocalAccess + sim.Time(hops)*m.cfg.RemoteAccessPerHop
+}
+
+// RemotePenalty returns the multiplicative slowdown a thread suffers when
+// running on core but touching memory homed on node, relative to an
+// all-local run. It is >= 1.
+func (m *Machine) RemotePenalty(core, node int) float64 {
+	local := float64(m.cfg.LocalAccess)
+	if local == 0 {
+		return 1
+	}
+	return float64(m.MemoryLatency(core, node)) / local
+}

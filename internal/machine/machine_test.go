@@ -1,0 +1,162 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"javasim/internal/sim"
+)
+
+func TestOpteron6168Preset(t *testing.T) {
+	cfg := Opteron6168()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+	if got := cfg.TotalCores(); got != 48 {
+		t.Errorf("TotalCores = %d, want 48", got)
+	}
+	if cfg.Sockets != 4 || cfg.CoresPerSocket != 12 {
+		t.Errorf("topology %dx%d, want 4x12", cfg.Sockets, cfg.CoresPerSocket)
+	}
+	if total := cfg.MemoryPerNode * int64(cfg.Sockets); total != 64<<30 {
+		t.Errorf("total memory = %d, want 64 GiB", total)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []Config{
+		{Sockets: 0, CoresPerSocket: 4, MemoryPerNode: 1},
+		{Sockets: 2, CoresPerSocket: 0, MemoryPerNode: 1},
+		{Sockets: 2, CoresPerSocket: 4, MemoryPerNode: 0},
+		{Sockets: 2, CoresPerSocket: 4, MemoryPerNode: 1, LocalAccess: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config %+v", i, c)
+		}
+	}
+}
+
+func TestSocketAssignment(t *testing.T) {
+	m := New(Opteron6168())
+	for i := 0; i < m.NumCores(); i++ {
+		want := i / 12
+		if got := m.SocketOf(i); got != want {
+			t.Errorf("core %d on socket %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestEnableCores(t *testing.T) {
+	m := New(Opteron6168())
+	if err := m.EnableCores(16); err != nil {
+		t.Fatal(err)
+	}
+	enabled := m.EnabledCores()
+	if len(enabled) != 16 {
+		t.Fatalf("enabled %d cores, want 16", len(enabled))
+	}
+	for i, c := range enabled {
+		if c != i {
+			t.Errorf("enabled[%d] = %d, want %d (socket-major fill)", i, c, i)
+		}
+	}
+	if m.Core(16).Enabled {
+		t.Error("core 16 still enabled")
+	}
+}
+
+func TestEnableCoresRange(t *testing.T) {
+	m := New(Opteron6168())
+	if err := m.EnableCores(0); err == nil {
+		t.Error("EnableCores(0) accepted")
+	}
+	if err := m.EnableCores(49); err == nil {
+		t.Error("EnableCores(49) accepted")
+	}
+	if err := m.EnableCores(48); err != nil {
+		t.Errorf("EnableCores(48) rejected: %v", err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	m := New(Opteron6168())
+	if d := m.Distance(2, 2); d != 0 {
+		t.Errorf("same-socket distance = %d, want 0", d)
+	}
+	if d := m.Distance(0, 3); d != 1 {
+		t.Errorf("cross-socket distance = %d, want 1", d)
+	}
+	// Symmetry.
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if m.Distance(a, b) != m.Distance(b, a) {
+				t.Errorf("Distance(%d,%d) asymmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestMemoryLatency(t *testing.T) {
+	cfg := Opteron6168()
+	m := New(cfg)
+	local := m.MemoryLatency(0, 0) // core 0 is on socket 0
+	remote := m.MemoryLatency(0, 1)
+	if local != cfg.LocalAccess {
+		t.Errorf("local latency %v, want %v", local, cfg.LocalAccess)
+	}
+	if remote != cfg.LocalAccess+cfg.RemoteAccessPerHop {
+		t.Errorf("remote latency %v, want %v", remote, cfg.LocalAccess+cfg.RemoteAccessPerHop)
+	}
+	if remote <= local {
+		t.Error("remote access not slower than local")
+	}
+}
+
+func TestRemotePenalty(t *testing.T) {
+	m := New(Opteron6168())
+	if p := m.RemotePenalty(0, 0); p != 1 {
+		t.Errorf("local penalty = %v, want 1", p)
+	}
+	if p := m.RemotePenalty(0, 2); p <= 1 {
+		t.Errorf("remote penalty = %v, want > 1", p)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted invalid config")
+		}
+	}()
+	New(Config{})
+}
+
+// Property: for any valid small topology, every core maps to a valid
+// socket, and memory latency is minimized at the local node.
+func TestTopologyProperty(t *testing.T) {
+	f := func(sockets, cores uint8) bool {
+		s := int(sockets%8) + 1
+		c := int(cores%16) + 1
+		m := New(Config{
+			Sockets: s, CoresPerSocket: c, MemoryPerNode: 1 << 30,
+			LocalAccess: 60 * sim.Nanosecond, RemoteAccessPerHop: 40 * sim.Nanosecond,
+		})
+		for i := 0; i < m.NumCores(); i++ {
+			sk := m.SocketOf(i)
+			if sk < 0 || sk >= s {
+				return false
+			}
+			localLat := m.MemoryLatency(i, sk)
+			for node := 0; node < s; node++ {
+				if m.MemoryLatency(i, node) < localLat {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

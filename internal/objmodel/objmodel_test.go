@@ -1,0 +1,204 @@
+package objmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	r := NewRegistry(16)
+	id := r.Alloc(128, 3, 100)
+	o := r.Get(id)
+	if o.Size != 128 || o.Thread != 3 || o.BirthTime != 100 {
+		t.Errorf("object fields %+v", o)
+	}
+	if !o.Live() {
+		t.Error("fresh object not live")
+	}
+	if o.Birth != 128 {
+		t.Errorf("first object birth clock = %d, want 128 (after own bytes)", o.Birth)
+	}
+	if r.Clock() != 128 {
+		t.Errorf("clock = %d, want 128", r.Clock())
+	}
+	id2 := r.Alloc(64, 1, 200)
+	if r.Get(id2).Birth != 192 {
+		t.Errorf("second object birth = %d, want 192", r.Get(id2).Birth)
+	}
+}
+
+func TestLifespanMetric(t *testing.T) {
+	// The paper (§II-A) measures lifespan as heap memory allocated to
+	// *other* objects between an object's creation and its death: allocate
+	// A (100B), then B (50B), then kill A — A's lifespan is exactly B's 50
+	// bytes. An object killed immediately has lifespan 0.
+	r := NewRegistry(4)
+	a := r.Alloc(100, 0, 0)
+	r.Alloc(50, 1, 10)
+	r.Kill(a, 20)
+	if got := r.Get(a).Lifespan(); got != 50 {
+		t.Errorf("lifespan = %d, want 50 (B's bytes only)", got)
+	}
+	c := r.Alloc(32, 0, 30)
+	r.Kill(c, 30)
+	if got := r.Get(c).Lifespan(); got != 0 {
+		t.Errorf("immediate-death lifespan = %d, want 0", got)
+	}
+}
+
+func TestKillAccounting(t *testing.T) {
+	r := NewRegistry(4)
+	a := r.Alloc(100, 0, 0)
+	b := r.Alloc(200, 0, 0)
+	if r.LiveCount() != 2 || r.LiveBytes() != 300 {
+		t.Fatalf("live %d/%d, want 2/300", r.LiveCount(), r.LiveBytes())
+	}
+	r.Kill(a, 5)
+	if r.LiveCount() != 1 || r.LiveBytes() != 200 {
+		t.Errorf("after kill live %d/%d, want 1/200", r.LiveCount(), r.LiveBytes())
+	}
+	if r.DeadCount() != 1 {
+		t.Errorf("dead = %d, want 1", r.DeadCount())
+	}
+	r.Kill(b, 6)
+	if r.LiveCount() != 0 || r.LiveBytes() != 0 {
+		t.Errorf("final live %d/%d, want 0/0", r.LiveCount(), r.LiveBytes())
+	}
+}
+
+func TestDoubleKillPanics(t *testing.T) {
+	r := NewRegistry(1)
+	id := r.Alloc(10, 0, 0)
+	r.Kill(id, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double kill did not panic")
+		}
+	}()
+	r.Kill(id, 2)
+}
+
+func TestZeroSizeAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size alloc did not panic")
+		}
+	}()
+	NewRegistry(1).Alloc(0, 0, 0)
+}
+
+func TestLifespanOfLivePanics(t *testing.T) {
+	r := NewRegistry(1)
+	id := r.Alloc(10, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lifespan of live object did not panic")
+		}
+	}()
+	_ = r.Get(id).Lifespan()
+}
+
+func TestKillAllLive(t *testing.T) {
+	r := NewRegistry(8)
+	for i := 0; i < 5; i++ {
+		r.Alloc(100, 0, 0)
+	}
+	r.Kill(2, 1)
+	r.KillAllLive(99)
+	if r.LiveCount() != 0 {
+		t.Errorf("live after KillAllLive = %d", r.LiveCount())
+	}
+	r.ForEach(func(id ID, o *Object) {
+		if o.Live() {
+			t.Errorf("object %d still live", id)
+		}
+	})
+	if r.Get(4).DeathTime != 99 {
+		t.Errorf("death time = %v, want 99", r.Get(4).DeathTime)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	r := NewRegistry(8)
+	for i := 1; i <= 5; i++ {
+		r.Alloc(int32(i*10), 0, 0)
+	}
+	var sizes []int32
+	r.ForEach(func(id ID, o *Object) { sizes = append(sizes, o.Size) })
+	for i, s := range sizes {
+		if s != int32((i+1)*10) {
+			t.Errorf("ForEach out of allocation order: %v", sizes)
+		}
+	}
+}
+
+func TestGenerationString(t *testing.T) {
+	if Young.String() != "young" || Old.String() != "old" {
+		t.Error("generation names wrong")
+	}
+}
+
+// Property: the allocation clock equals the sum of all object sizes, and
+// live + dead bytes always equals that clock.
+func TestClockConservationProperty(t *testing.T) {
+	f := func(sizes []uint16, killMask []bool) bool {
+		r := NewRegistry(len(sizes))
+		var ids []ID
+		var sum int64
+		for _, s := range sizes {
+			size := int32(s%1000) + 1
+			ids = append(ids, r.Alloc(size, 0, 0))
+			sum += int64(size)
+		}
+		for i, id := range ids {
+			if i < len(killMask) && killMask[i] {
+				r.Kill(id, 1)
+			}
+		}
+		if r.Clock() != sum {
+			return false
+		}
+		liveBytes, deadBytes := int64(0), int64(0)
+		r.ForEach(func(_ ID, o *Object) {
+			if o.Live() {
+				liveBytes += int64(o.Size)
+			} else {
+				deadBytes += int64(o.Size)
+			}
+		})
+		return liveBytes == r.LiveBytes() && liveBytes+deadBytes == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lifespans are never negative, and an object allocated last has
+// lifespan exactly 0 when everything is retired together.
+func TestLifespanNonNegativeProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		r := NewRegistry(len(sizes))
+		for _, s := range sizes {
+			r.Alloc(int32(s%512)+1, 0, 0)
+		}
+		r.KillAllLive(1)
+		ok := true
+		var lastLifespan int64 = -1
+		r.ForEach(func(id ID, o *Object) {
+			ls := o.Lifespan()
+			if ls < 0 {
+				ok = false
+			}
+			if int(id) == len(sizes)-1 {
+				lastLifespan = ls
+			}
+		})
+		if len(sizes) > 0 && lastLifespan != 0 {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"testing"
+
+	"javasim/internal/machine"
+	"javasim/internal/sim"
+)
+
+// BenchmarkDispatchCycle measures the submit→dispatch→complete round trip
+// for short segments across a contended 8-core machine.
+func BenchmarkDispatchCycle(b *testing.B) {
+	s := sim.New()
+	sc := New(s, multiCoreMachine(8), Config{Steal: true})
+	const nThreads = 16
+	threads := make([]*Thread, nThreads)
+	for i := range threads {
+		threads[i] = sc.NewThread("w", 0)
+	}
+	remaining := b.N
+	var spawn func(i int)
+	spawn = func(i int) {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		sc.Submit(threads[i], 10*sim.Microsecond, func() { spawn(i) })
+	}
+	b.ResetTimer()
+	for i := range threads {
+		spawn(i)
+	}
+	s.Run()
+}
+
+// BenchmarkNUMAPenaltyPath measures dispatch with the remote-placement
+// arithmetic active.
+func BenchmarkNUMAPenaltyPath(b *testing.B) {
+	s := sim.New()
+	m := machine.New(machine.Opteron6168())
+	sc := New(s, m, Config{Steal: true})
+	th := sc.NewThread("w", 0)
+	th.MemoryIntensity = 0.8
+	remaining := b.N
+	var loop func()
+	loop = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		sc.Submit(th, 5*sim.Microsecond, loop)
+	}
+	b.ResetTimer()
+	loop()
+	s.Run()
+}

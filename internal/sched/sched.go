@@ -1,0 +1,650 @@
+// Package sched models the operating-system thread scheduler under the
+// simulated JVM: per-core run queues with weighted virtual-runtime fair
+// scheduling (CFS-like), time-slice preemption, idle work stealing, and
+// migration/NUMA placement costs.
+//
+// Threads do not run code; the VM drives each thread as a sequence of CPU
+// bursts ("segments") via Submit. The scheduler decides when and where
+// each segment executes and calls the segment's completion callback at the
+// virtual time it finishes. Blocking (locks, safepoints, empty work
+// queues) happens between segments, which mirrors how a JVM thread reaches
+// a safepoint or parks: at well-defined poll points, not at arbitrary
+// instructions.
+//
+// The package also implements the paper's first future-work proposal
+// (§IV): phase-biased scheduling. With PhaseBias configured, worker
+// threads are partitioned into groups and only one group is eligible to
+// run at a time, rotating every PhaseLength. Spacing worker threads apart
+// in time reduces allocation interleaving — the "lifetime interference"
+// the paper blames for prolonged object lifespans.
+package sched
+
+import (
+	"fmt"
+
+	"javasim/internal/machine"
+	"javasim/internal/sim"
+)
+
+// State is a thread's scheduling state.
+type State uint8
+
+const (
+	// Idle threads have no pending segment; the VM has not submitted work.
+	Idle State = iota
+	// Ready threads wait in a run queue for a core.
+	Ready
+	// Running threads occupy a core.
+	Running
+	// Blocked threads are parked (lock wait, safepoint, I/O) and hold no
+	// pending segment.
+	Blocked
+	// Terminated threads have finished and can never run again.
+	Terminated
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Terminated:
+		return "terminated"
+	default:
+		return "invalid"
+	}
+}
+
+// DefaultWeight is the scheduling weight of an ordinary mutator thread.
+// Lower weights receive proportionally less CPU (vruntime grows faster).
+const DefaultWeight = 1024
+
+// Thread is one schedulable entity.
+type Thread struct {
+	// ID is the dense thread index assigned at creation.
+	ID int
+	// Name labels the thread in reports ("worker-3", "jit-compiler").
+	Name string
+	// Weight is the fair-share weight; DefaultWeight for mutators.
+	Weight int
+	// MemoryIntensity in [0,1] scales how strongly NUMA-remote placement
+	// slows this thread: 0 = pure compute, 1 = every cycle memory-bound.
+	MemoryIntensity float64
+	// Group is the phase-bias group, or NoGroup for always-eligible
+	// threads (helpers, GC).
+	Group int
+
+	state      State
+	core       int // core currently or last occupied; -1 before first run
+	homeSocket int // socket of first dispatch; NUMA home of its data
+
+	vruntime sim.Time
+
+	// Accounting, exposed through getters.
+	cpuTime     sim.Time // effective core occupancy
+	readyWait   sim.Time // total time spent Ready (runnable, no core)
+	blockedTime sim.Time
+	stateSince  sim.Time
+	dispatches  int64
+	migrations  int64
+	preemptions int64
+
+	// Current segment.
+	remainingBase sim.Time // requested CPU time left, base units
+	done          func()
+	startedAt     sim.Time // dispatch time of current slice
+	penalty1024   int64    // effective-time multiplier at current placement
+	sliceEvent    *sim.Event
+	continued     bool // set when done() resubmits in-place
+}
+
+// NoGroup marks threads exempt from phase-bias gating.
+const NoGroup = -1
+
+// State returns the current scheduling state.
+func (t *Thread) State() State { return t.state }
+
+// CPUTime returns the total effective core time consumed.
+func (t *Thread) CPUTime() sim.Time { return t.cpuTime }
+
+// ReadyWait returns the total time the thread sat runnable without a core.
+// The paper's §III-B links this suspension time to prolonged object
+// lifespans.
+func (t *Thread) ReadyWait() sim.Time { return t.readyWait }
+
+// BlockedTime returns the total time parked.
+func (t *Thread) BlockedTime() sim.Time { return t.blockedTime }
+
+// Dispatches returns how many times the thread was placed on a core.
+func (t *Thread) Dispatches() int64 { return t.dispatches }
+
+// Migrations returns how many dispatches landed on a different core than
+// the previous one.
+func (t *Thread) Migrations() int64 { return t.migrations }
+
+// Preemptions returns how many times a time-slice expiry descheduled the
+// thread with work remaining.
+func (t *Thread) Preemptions() int64 { return t.preemptions }
+
+// Core returns the core the thread last ran on, or -1.
+func (t *Thread) Core() int { return t.core }
+
+// PhaseBias configures phase-biased scheduling (future work (a)).
+type PhaseBias struct {
+	// Groups is the number of rotation groups; <= 1 disables biasing.
+	Groups int
+	// PhaseLength is how long each group stays eligible.
+	PhaseLength sim.Time
+}
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// Quantum is the preemption time slice. Zero means 1ms.
+	Quantum sim.Time
+	// Steal enables idle work stealing across run queues.
+	Steal bool
+	// Bias enables phase-biased scheduling when Bias.Groups > 1.
+	Bias PhaseBias
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Quantum == 0 {
+		c.Quantum = sim.Millisecond
+	}
+	return c
+}
+
+type coreState struct {
+	id      int
+	current *Thread
+	queue   []*Thread
+}
+
+// Scheduler multiplexes threads onto the machine's enabled cores.
+type Scheduler struct {
+	sim     *sim.Simulator
+	machine *machine.Machine
+	cfg     Config
+
+	cores   []coreState // one per enabled core
+	threads []*Thread
+
+	phaseWake []*sim.Event // per core, pending phase-boundary wakeup
+	idleStart []sim.Time   // per core, when it last went idle; -1 if busy
+	idleTotal []sim.Time
+
+	// gateOverride, when set and returning true, suspends phase-bias
+	// gating so every thread can be scheduled. The VM points this at its
+	// safepoint-pending flag: a stop-the-world request must be able to
+	// reach threads parked behind an inactive phase group, or
+	// time-to-safepoint balloons to the phase length.
+	gateOverride func() bool
+}
+
+// New builds a scheduler over the machine's currently enabled cores.
+func New(s *sim.Simulator, m *machine.Machine, cfg Config) *Scheduler {
+	cfg = cfg.WithDefaults()
+	enabled := m.EnabledCores()
+	if len(enabled) == 0 {
+		panic("sched: no enabled cores")
+	}
+	sc := &Scheduler{
+		sim: s, machine: m, cfg: cfg,
+		cores:     make([]coreState, len(enabled)),
+		phaseWake: make([]*sim.Event, len(enabled)),
+		idleStart: make([]sim.Time, len(enabled)),
+		idleTotal: make([]sim.Time, len(enabled)),
+	}
+	for i, c := range enabled {
+		sc.cores[i] = coreState{id: c}
+		sc.idleStart[i] = 0
+	}
+	if cfg.Bias.Groups > 1 && cfg.Bias.PhaseLength <= 0 {
+		panic("sched: PhaseBias.PhaseLength must be positive")
+	}
+	return sc
+}
+
+// NumCores returns the number of cores the scheduler multiplexes.
+func (sc *Scheduler) NumCores() int { return len(sc.cores) }
+
+// NewThread registers a thread. Group defaults to NoGroup (never gated).
+func (sc *Scheduler) NewThread(name string, weight int) *Thread {
+	if weight <= 0 {
+		weight = DefaultWeight
+	}
+	t := &Thread{
+		ID: len(sc.threads), Name: name, Weight: weight,
+		Group: NoGroup, core: -1, homeSocket: -1,
+		stateSince: sc.sim.Now(),
+	}
+	sc.threads = append(sc.threads, t)
+	return t
+}
+
+// Threads returns all registered threads in creation order.
+func (sc *Scheduler) Threads() []*Thread { return sc.threads }
+
+// setState moves t to state s, folding elapsed time into the accounting
+// bucket of the state being left.
+func (sc *Scheduler) setState(t *Thread, s State) {
+	now := sc.sim.Now()
+	elapsed := now - t.stateSince
+	switch t.state {
+	case Ready:
+		t.readyWait += elapsed
+	case Blocked:
+		t.blockedTime += elapsed
+	}
+	t.state = s
+	t.stateSince = now
+}
+
+// Submit requests that thread t consume d nanoseconds of CPU and then run
+// done. It is legal when t is Idle or Blocked, or from inside t's own done
+// callback (a continuation, which keeps the core without requeueing).
+// Submitting for a Ready, Running, or Terminated thread panics: the VM
+// must never double-schedule a thread.
+func (sc *Scheduler) Submit(t *Thread, d sim.Time, done func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sched: negative segment %v for %s", d, t.Name))
+	}
+	if done == nil {
+		panic("sched: nil done callback")
+	}
+	switch t.state {
+	case Running:
+		// Legal only as a continuation from t's own done callback, which
+		// is the only code that can observe t Running with no slice event.
+		if t.sliceEvent != nil || t.done != nil {
+			panic(fmt.Sprintf("sched: Submit for running thread %s outside its done callback", t.Name))
+		}
+		t.remainingBase = d
+		t.done = done
+		t.continued = true
+		return
+	case Idle, Blocked:
+		t.remainingBase = d
+		t.done = done
+		sc.enqueue(t)
+	default:
+		panic(fmt.Sprintf("sched: Submit for %s thread %s", t.state, t.Name))
+	}
+}
+
+// Block parks a thread and labels its wait as blocking for the accounting
+// split. It is legal for an Idle thread, or from inside the thread's own
+// done callback (the usual case: the segment ended at a lock or safepoint
+// poll and the thread must wait instead of running on — the core is
+// released when the callback returns).
+func (sc *Scheduler) Block(t *Thread) {
+	switch {
+	case t.state == Idle:
+		sc.setState(t, Blocked)
+	case t.state == Running && t.sliceEvent == nil && t.done == nil && !t.continued:
+		sc.setState(t, Blocked)
+	default:
+		panic(fmt.Sprintf("sched: Block on %s thread %s", t.state, t.Name))
+	}
+}
+
+// Unblock returns a Blocked thread to Idle without scheduling work.
+func (sc *Scheduler) Unblock(t *Thread) {
+	if t.state != Blocked {
+		panic(fmt.Sprintf("sched: Unblock on %s thread %s", t.state, t.Name))
+	}
+	sc.setState(t, Idle)
+}
+
+// Terminate retires a thread permanently. It is legal for an off-CPU
+// thread or from inside the thread's own done callback after its final
+// segment.
+func (sc *Scheduler) Terminate(t *Thread) {
+	switch {
+	case t.state == Idle || t.state == Blocked:
+		sc.setState(t, Terminated)
+	case t.state == Running && t.sliceEvent == nil && t.done == nil && !t.continued:
+		sc.setState(t, Terminated)
+	default:
+		panic(fmt.Sprintf("sched: Terminate on %s thread %s", t.state, t.Name))
+	}
+}
+
+// activeGroup returns the phase group currently eligible to run. Phases
+// are derived from the clock rather than from periodic events so that an
+// otherwise-finished simulation drains instead of rotating forever.
+func (sc *Scheduler) activeGroup() int {
+	return int((sc.sim.Now() / sc.cfg.Bias.PhaseLength) % sim.Time(sc.cfg.Bias.Groups))
+}
+
+// SetGateOverride installs a predicate that, while true, suspends
+// phase-bias gating (see gateOverride).
+func (sc *Scheduler) SetGateOverride(f func() bool) { sc.gateOverride = f }
+
+// eligible reports whether phase biasing permits t to run now.
+func (sc *Scheduler) eligible(t *Thread) bool {
+	if sc.cfg.Bias.Groups <= 1 || t.Group == NoGroup {
+		return true
+	}
+	if sc.gateOverride != nil && sc.gateOverride() {
+		return true
+	}
+	return t.Group%sc.cfg.Bias.Groups == sc.activeGroup()
+}
+
+// armPhaseWake schedules a dispatch retry on core idx at the next phase
+// boundary, when gated threads may become eligible. At most one wakeup is
+// pending per core.
+func (sc *Scheduler) armPhaseWake(idx int) {
+	if sc.cfg.Bias.Groups <= 1 || sc.phaseWake[idx] != nil {
+		return
+	}
+	boundary := (sc.sim.Now()/sc.cfg.Bias.PhaseLength + 1) * sc.cfg.Bias.PhaseLength
+	sc.phaseWake[idx] = sc.sim.At(boundary, func() {
+		sc.phaseWake[idx] = nil
+		if sc.cores[idx].current == nil {
+			sc.dispatch(idx)
+		}
+	})
+}
+
+// gatedCount returns the number of Ready threads currently ineligible due
+// to phase biasing, across all queues.
+func (sc *Scheduler) gatedCount() int {
+	if sc.cfg.Bias.Groups <= 1 {
+		return 0
+	}
+	n := 0
+	for i := range sc.cores {
+		for _, t := range sc.cores[i].queue {
+			if !sc.eligible(t) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// enqueue places t in a run queue and dispatches if a core is free.
+func (sc *Scheduler) enqueue(t *Thread) {
+	sc.setState(t, Ready)
+	target := sc.pickCore(t)
+	sc.cores[target].queue = append(sc.cores[target].queue, t)
+	if sc.cores[target].current == nil {
+		sc.dispatch(target)
+	}
+}
+
+// pickCore chooses the run queue for a waking thread: its last core when
+// that core is free, otherwise the least-loaded core, breaking ties toward
+// the thread's home socket and then the lowest index (determinism).
+func (sc *Scheduler) pickCore(t *Thread) int {
+	if t.core >= 0 {
+		if idx, ok := sc.coreIndex(t.core); ok {
+			c := &sc.cores[idx]
+			if c.current == nil && len(c.queue) == 0 && sc.eligible(t) {
+				return idx
+			}
+		}
+	}
+	best, bestLoad, bestAffine := -1, int(^uint(0)>>1), false
+	for i := range sc.cores {
+		c := &sc.cores[i]
+		load := len(c.queue)
+		if c.current != nil {
+			load++
+		}
+		affine := t.homeSocket >= 0 && sc.machine.SocketOf(c.id) == t.homeSocket
+		if load < bestLoad || (load == bestLoad && affine && !bestAffine) {
+			best, bestLoad, bestAffine = i, load, affine
+		}
+	}
+	return best
+}
+
+func (sc *Scheduler) coreIndex(coreID int) (int, bool) {
+	for i := range sc.cores {
+		if sc.cores[i].id == coreID {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// pickNext removes and returns the next thread for core idx: the eligible
+// minimum-vruntime thread in its own queue, else (with stealing) the
+// eligible min-vruntime thread from the longest other queue.
+func (sc *Scheduler) pickNext(idx int) *Thread {
+	if t := sc.takeMin(idx); t != nil {
+		return t
+	}
+	if !sc.cfg.Steal {
+		return nil
+	}
+	victim, victimLen := -1, 0
+	for i := range sc.cores {
+		if i == idx {
+			continue
+		}
+		if n := sc.eligibleCount(i); n > victimLen {
+			victim, victimLen = i, n
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	return sc.takeMin(victim)
+}
+
+func (sc *Scheduler) eligibleCount(idx int) int {
+	n := 0
+	for _, t := range sc.cores[idx].queue {
+		if sc.eligible(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// takeMin removes the eligible thread with minimum vruntime from queue
+// idx, or returns nil.
+func (sc *Scheduler) takeMin(idx int) *Thread {
+	q := sc.cores[idx].queue
+	best := -1
+	for i, t := range q {
+		if !sc.eligible(t) {
+			continue
+		}
+		if best < 0 || t.vruntime < q[best].vruntime {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	t := q[best]
+	sc.cores[idx].queue = append(q[:best], q[best+1:]...)
+	return t
+}
+
+// dispatch places the next thread on core idx if one is available.
+func (sc *Scheduler) dispatch(idx int) {
+	c := &sc.cores[idx]
+	if c.current != nil {
+		return
+	}
+	t := sc.pickNext(idx)
+	if t == nil {
+		if sc.idleStart[idx] < 0 {
+			sc.idleStart[idx] = sc.sim.Now()
+		}
+		if sc.gatedCount() > 0 {
+			sc.armPhaseWake(idx)
+		}
+		return
+	}
+	if sc.idleStart[idx] >= 0 {
+		sc.idleTotal[idx] += sc.sim.Now() - sc.idleStart[idx]
+		sc.idleStart[idx] = -1
+	}
+	c.current = t
+	migrated := t.core >= 0 && t.core != c.id
+	if migrated {
+		t.migrations++
+	}
+	t.core = c.id
+	if t.homeSocket < 0 {
+		t.homeSocket = sc.machine.SocketOf(c.id)
+	}
+	sc.setState(t, Running)
+	t.dispatches++
+
+	// Effective-time multiplier: NUMA-remote placement slows the thread in
+	// proportion to its memory intensity.
+	pen := 1.0
+	if t.homeSocket >= 0 {
+		pen = 1 + t.MemoryIntensity*(sc.machine.RemotePenalty(c.id, t.homeSocket)-1)
+	}
+	t.penalty1024 = int64(pen * 1024)
+	if t.penalty1024 < 1024 {
+		t.penalty1024 = 1024
+	}
+	if migrated {
+		// Cache/TLB refill charged as extra effective time on this slice.
+		t.remainingBase += sc.machine.Config().MigrationCost
+	}
+	t.startedAt = sc.sim.Now()
+	slice := sc.effRemaining(t)
+	if slice > sc.cfg.Quantum {
+		slice = sc.cfg.Quantum
+	}
+	t.sliceEvent = sc.sim.Schedule(slice, func() { sc.tick(idx) })
+}
+
+func (sc *Scheduler) effRemaining(t *Thread) sim.Time {
+	return sim.Time(int64(t.remainingBase) * t.penalty1024 / 1024)
+}
+
+// tick fires at slice expiry or segment completion for core idx.
+func (sc *Scheduler) tick(idx int) {
+	c := &sc.cores[idx]
+	t := c.current
+	t.sliceEvent = nil
+	usedEff := sc.sim.Now() - t.startedAt
+	t.cpuTime += usedEff
+	t.vruntime += usedEff * sim.Time(DefaultWeight) / sim.Time(t.Weight)
+	sc.machine.Core(c.id).BusyTime += usedEff
+	// Ceiling division: rounding the base-time charge down would leave a
+	// sliver of remainingBase that converts to zero effective time and
+	// livelocks the core on 1ns slices.
+	usedBase := sim.Time((int64(usedEff)*1024 + t.penalty1024 - 1) / t.penalty1024)
+	t.remainingBase -= usedBase
+	if t.remainingBase <= 0 {
+		sc.completeSegment(t, idx)
+		return
+	}
+	// Quantum expired with work left: preempt if someone eligible waits.
+	if sc.eligibleCount(idx) > 0 {
+		t.preemptions++
+		c.current = nil
+		sc.setState(t, Ready)
+		c.queue = append(c.queue, t)
+		sc.dispatch(idx)
+		return
+	}
+	// Nobody waiting; run another slice in place.
+	t.startedAt = sc.sim.Now()
+	slice := sc.effRemaining(t)
+	if slice > sc.cfg.Quantum {
+		slice = sc.cfg.Quantum
+	}
+	t.sliceEvent = sc.sim.Schedule(slice, func() { sc.tick(idx) })
+}
+
+// completeSegment runs the done callback and either continues the thread
+// in place (when done resubmitted) or frees the core.
+func (sc *Scheduler) completeSegment(t *Thread, idx int) {
+	c := &sc.cores[idx]
+	t.remainingBase = 0
+	done := t.done
+	t.done = nil
+	done()
+	if t.continued {
+		t.continued = false
+		// A continuation keeps the core only while nobody eligible waits
+		// on this core's queue; otherwise a CPU-bound thread chaining
+		// segments would starve every other thread mapped here.
+		if sc.eligibleCount(idx) > 0 {
+			t.preemptions++
+			c.current = nil
+			sc.setState(t, Ready)
+			c.queue = append(c.queue, t)
+			sc.dispatch(idx)
+			return
+		}
+		t.startedAt = sc.sim.Now()
+		slice := sc.effRemaining(t)
+		if slice > sc.cfg.Quantum {
+			slice = sc.cfg.Quantum
+		}
+		t.sliceEvent = sc.sim.Schedule(slice, func() { sc.tick(idx) })
+		return
+	}
+	c.current = nil
+	if t.state == Running {
+		sc.setState(t, Idle)
+	}
+	sc.dispatch(idx)
+}
+
+// Kick re-runs dispatch on every idle core. Callers use it after a change
+// to external gating state (e.g. the VM's safepoint flag) that can make
+// previously ineligible queued threads runnable — or gate them again, in
+// which case dispatch re-arms the phase-boundary wakeup.
+func (sc *Scheduler) Kick() {
+	for i := range sc.cores {
+		if sc.cores[i].current == nil {
+			sc.dispatch(i)
+		}
+	}
+}
+
+// RunQueueLength returns the total number of Ready threads.
+func (sc *Scheduler) RunQueueLength() int {
+	n := 0
+	for i := range sc.cores {
+		n += len(sc.cores[i].queue)
+	}
+	return n
+}
+
+// IdleTime returns the accumulated idle time of scheduler core idx (not
+// the machine core ID).
+func (sc *Scheduler) IdleTime(idx int) sim.Time {
+	t := sc.idleTotal[idx]
+	if sc.idleStart[idx] >= 0 {
+		t += sc.sim.Now() - sc.idleStart[idx]
+	}
+	return t
+}
+
+// Utilization returns the fraction of core-time spent busy since start.
+func (sc *Scheduler) Utilization() float64 {
+	now := sc.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	var idle sim.Time
+	for i := range sc.cores {
+		idle += sc.IdleTime(i)
+	}
+	total := now * sim.Time(len(sc.cores))
+	return 1 - float64(idle)/float64(total)
+}

@@ -1,0 +1,99 @@
+package sim
+
+// eventQueue is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than built on container/heap so that Push/Pop avoid interface
+// boxing on the kernel's hottest path.
+type eventQueue struct {
+	items []*Event
+}
+
+// Len returns the number of queued events.
+func (q *eventQueue) Len() int { return len(q.items) }
+
+// Peek returns the earliest event without removing it. It panics on an
+// empty queue; callers check Len first.
+func (q *eventQueue) Peek() *Event { return q.items[0] }
+
+// Push inserts an event.
+func (q *eventQueue) Push(ev *Event) {
+	ev.index = len(q.items)
+	q.items = append(q.items, ev)
+	q.siftUp(ev.index)
+}
+
+// Pop removes and returns the earliest event.
+func (q *eventQueue) Pop() *Event {
+	ev := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[0].index = 0
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// Remove deletes an event at an arbitrary position.
+func (q *eventQueue) Remove(ev *Event) {
+	i := ev.index
+	if i < 0 || i >= len(q.items) || q.items[i] != ev {
+		return
+	}
+	last := len(q.items) - 1
+	q.items[i] = q.items[last]
+	q.items[i].index = i
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if i < last {
+		q.siftDown(i)
+		q.siftUp(i)
+	}
+	ev.index = -1
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

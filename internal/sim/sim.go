@@ -1,0 +1,158 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that every other subsystem in this repository runs on.
+//
+// The kernel models virtual time as int64 nanoseconds. Components schedule
+// closures at future instants; the simulator executes them in timestamp
+// order, breaking ties by scheduling order (FIFO), which keeps runs
+// bit-for-bit reproducible for a fixed seed and configuration.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. Durations are also expressed as Time values.
+type Time int64
+
+// Common durations, mirroring the time package but in virtual units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// String formats the time using the most natural unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts the time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled closure. The zero value is not useful; events are
+// created through Simulator.Schedule or Simulator.At.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // position in the heap, -1 once removed
+	canceled bool
+}
+
+// At reports the virtual time at which the event fires.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Simulator owns the virtual clock and the pending-event queue.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// executed counts events that have fired, for diagnostics and tests.
+	executed uint64
+}
+
+// New returns an empty simulator positioned at time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Executed returns the number of events that have fired so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events waiting to fire.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Schedule registers fn to run delay nanoseconds from now. A zero delay is
+// legal and fires after all events already scheduled for the current
+// instant. Schedule panics if delay is negative: simulated components never
+// travel backwards in time, so a negative delay is always a logic bug.
+func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At registers fn to run at absolute time t, which must not be in the past.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	s.seq++
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.queue.Push(ev)
+	return ev
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired or been canceled is a no-op.
+func (s *Simulator) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return
+	}
+	ev.canceled = true
+	s.queue.Remove(ev)
+}
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty or the simulator has been stopped.
+func (s *Simulator) Step() bool {
+	if s.stopped || s.queue.Len() == 0 {
+		return false
+	}
+	ev := s.queue.Pop()
+	if ev.at < s.now {
+		panic("sim: event queue returned an event from the past")
+	}
+	s.now = ev.at
+	s.executed++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called. It returns the
+// final virtual time.
+func (s *Simulator) Run() Time {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to the deadline (if it is later than the last event). Events scheduled
+// beyond the deadline remain queued.
+func (s *Simulator) RunUntil(deadline Time) Time {
+	for !s.stopped && s.queue.Len() > 0 && s.queue.Peek().at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// Stop makes Run and Step return immediately. Pending events stay queued;
+// calling Resume re-enables execution.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Resume clears the stopped flag set by Stop.
+func (s *Simulator) Resume() { s.stopped = false }

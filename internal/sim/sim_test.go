@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(30, func() { got = append(got, 3) })
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Schedule(20, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("final time %v, want 30", s.Now())
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-broken order violated at %d: got %d", i, got[i])
+		}
+	}
+}
+
+func TestZeroDelayRunsAfterCurrentInstant(t *testing.T) {
+	s := New()
+	var got []string
+	s.Schedule(0, func() {
+		got = append(got, "a")
+		s.Schedule(0, func() { got = append(got, "c") })
+	})
+	s.Schedule(0, func() { got = append(got, "b") })
+	s.Run()
+	want := "abc"
+	have := ""
+	for _, g := range got {
+		have += g
+	}
+	if have != want {
+		t.Errorf("order %q, want %q", have, want)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(100, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for scheduling in the past")
+		}
+	}()
+	s.At(50, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	ev := s.Schedule(10, func() { fired = true })
+	s.Cancel(ev)
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	// Double-cancel and cancel-after-fire must be no-ops.
+	s.Cancel(ev)
+	ev2 := s.Schedule(10, func() {})
+	s.Run()
+	s.Cancel(ev2)
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	s := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, s.Schedule(Time(10*(i+1)), func() { got = append(got, i) }))
+	}
+	s.Cancel(evs[4])
+	s.Cancel(evs[7])
+	s.Run()
+	if len(got) != 8 {
+		t.Fatalf("fired %d, want 8", len(got))
+	}
+	for _, g := range got {
+		if g == 4 || g == 7 {
+			t.Errorf("canceled event %d fired", g)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=12, want 2", len(fired))
+	}
+	if s.Now() != 12 {
+		t.Errorf("Now() = %v, want 12", s.Now())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Errorf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestStopResume(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.Schedule(Time(i), func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("ran %d events before stop, want 2", count)
+	}
+	s.Resume()
+	s.Run()
+	if count != 5 {
+		t.Errorf("ran %d events total, want 5", count)
+	}
+}
+
+func TestExecutedAndPending(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.Schedule(Time(i), func() {})
+	}
+	if s.Pending() != 7 {
+		t.Errorf("Pending = %d, want 7", s.Pending())
+	}
+	s.Run()
+	if s.Executed() != 7 {
+		t.Errorf("Executed = %d, want 7", s.Executed())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after run, want 0", s.Pending())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+// Property: events always fire in nondecreasing timestamp order, regardless
+// of insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var fired []Time
+		for _, d := range delays {
+			d := Time(d)
+			s.Schedule(d, func() { fired = append(fired, d) })
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaving cancellations with scheduling preserves heap
+// integrity — every non-canceled event fires exactly once, in order.
+func TestCancelHeapIntegrityProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := New()
+		var live []*Event
+		firedCount := 0
+		expect := 0
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				// Cancel a pseudo-random live event.
+				idx := int(op/3) % len(live)
+				s.Cancel(live[idx])
+				live = append(live[:idx], live[idx+1:]...)
+				expect--
+			} else {
+				ev := s.Schedule(Time(op), func() { firedCount++ })
+				live = append(live, ev)
+				expect++
+			}
+		}
+		s.Run()
+		return firedCount == expect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 1000 {
+			s.Schedule(1, recur)
+		}
+	}
+	s.Schedule(0, recur)
+	s.Run()
+	if depth != 1000 {
+		t.Errorf("depth = %d, want 1000", depth)
+	}
+	if s.Now() != 999 {
+		t.Errorf("Now = %v, want 999", s.Now())
+	}
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"javasim/internal/metrics"
+	"javasim/internal/sim"
+)
+
+// Detailed trace analyses beyond the basic lifespan statistics — the kind
+// of per-thread and time-windowed views the Elephant Tracks ecosystem's
+// downstream tools computed from its traces.
+
+// ThreadProfile aggregates one thread's allocation behavior.
+type ThreadProfile struct {
+	Thread     int32
+	Allocs     int64
+	AllocBytes int64
+	// Lifespans is the lifespan distribution of objects this thread
+	// allocated.
+	Lifespans *metrics.Histogram
+}
+
+// ChurnWindow is allocation volume within one fixed time window.
+type ChurnWindow struct {
+	Start      sim.Time
+	AllocBytes int64
+	Deaths     int64
+}
+
+// DetailedAnalysis extends Analysis with per-thread and time-windowed
+// views.
+type DetailedAnalysis struct {
+	Analysis
+	// Threads holds per-thread profiles, sorted by thread ID.
+	Threads []ThreadProfile
+	// Churn is allocation volume per window, in time order.
+	Churn []ChurnWindow
+	// WindowSize is the churn bucketing granularity.
+	WindowSize sim.Time
+}
+
+// AnalyzeDetailed streams a trace and computes the full analysis. The
+// churn windows use the given granularity; zero selects 1ms.
+func AnalyzeDetailed(r *Reader, window sim.Time) (*DetailedAnalysis, error) {
+	if window <= 0 {
+		window = sim.Millisecond
+	}
+	a := &DetailedAnalysis{
+		Analysis:   Analysis{Lifespans: metrics.NewHistogram("lifespan-bytes")},
+		WindowSize: window,
+	}
+	type birth struct {
+		clock  int64
+		thread int32
+	}
+	births := make(map[uint32]birth)
+	threads := make(map[int32]*ThreadProfile)
+	churn := make(map[sim.Time]*ChurnWindow)
+
+	threadOf := func(id int32) *ThreadProfile {
+		tp := threads[id]
+		if tp == nil {
+			tp = &ThreadProfile{
+				Thread:    id,
+				Lifespans: metrics.NewHistogram(fmt.Sprintf("thread-%d-lifespans", id)),
+			}
+			threads[id] = tp
+		}
+		return tp
+	}
+	windowOf := func(tm sim.Time) *ChurnWindow {
+		start := tm / window * window
+		w := churn[start]
+		if w == nil {
+			w = &ChurnWindow{Start: start}
+			churn[start] = w
+		}
+		return w
+	}
+
+	for {
+		ev, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		a.Events++
+		switch ev.Kind {
+		case Alloc:
+			a.Allocs++
+			births[ev.Object] = birth{clock: ev.Clock, thread: ev.Thread}
+			tp := threadOf(ev.Thread)
+			tp.Allocs++
+			tp.AllocBytes += int64(ev.Size)
+			windowOf(ev.Time).AllocBytes += int64(ev.Size)
+		case Death:
+			a.Deaths++
+			b, ok := births[ev.Object]
+			if !ok {
+				return nil, fmt.Errorf("trace: death of unknown object %d", ev.Object)
+			}
+			delete(births, ev.Object)
+			ls := ev.Clock - b.clock
+			a.Lifespans.Add(ls)
+			threadOf(b.thread).Lifespans.Add(ls)
+			windowOf(ev.Time).Deaths++
+		case GCStart:
+			a.GCs++
+		}
+	}
+	a.Leaked = int64(len(births))
+
+	for _, tp := range threads {
+		a.Threads = append(a.Threads, *tp)
+	}
+	sort.Slice(a.Threads, func(i, j int) bool { return a.Threads[i].Thread < a.Threads[j].Thread })
+	for _, w := range churn {
+		a.Churn = append(a.Churn, *w)
+	}
+	sort.Slice(a.Churn, func(i, j int) bool { return a.Churn[i].Start < a.Churn[j].Start })
+	return a, nil
+}

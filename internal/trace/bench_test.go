@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"javasim/internal/sim"
+)
+
+// BenchmarkWriterEmit measures varint encoding throughput.
+func BenchmarkWriterEmit(b *testing.B) {
+	w := NewWriter(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Emit(Event{
+			Kind: Alloc, Time: sim.Time(i) * 100, Thread: int32(i % 48),
+			Object: uint32(i), Size: 128, Clock: int64(i) * 128,
+		})
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReaderRead measures decoding throughput over a 100k-event
+// trace.
+func BenchmarkReaderRead(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		w.Emit(Event{Kind: Alloc, Time: sim.Time(i), Object: uint32(i), Size: 64, Clock: int64(i) * 64})
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)) / n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			if _, err := r.Read(); err != nil {
+				break
+			}
+		}
+	}
+}

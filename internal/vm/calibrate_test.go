@@ -1,0 +1,32 @@
+package vm
+
+import (
+	"os"
+	"testing"
+
+	"javasim/internal/workload"
+)
+
+// TestCalibrationProbe prints the headline shape metrics at full scale for
+// manual calibration. Run with JAVASIM_CALIBRATE=1; it is skipped otherwise
+// (the checked-in shape assertions live in the core package's integration
+// tests).
+func TestCalibrationProbe(t *testing.T) {
+	if os.Getenv("JAVASIM_CALIBRATE") == "" {
+		t.Skip("set JAVASIM_CALIBRATE=1 to run the calibration probe")
+	}
+	for _, spec := range workload.All() {
+		t.Logf("=== %s ===", spec.Name)
+		for _, n := range []int{4, 16, 48} {
+			res, err := Run(spec, Config{Threads: n, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s@%d: %v", spec.Name, n, err)
+			}
+			t.Logf("t=%2d total=%10v mut=%10v gc=%9v(%4.1f%%) minor=%3d full=%2d acq=%7d cont=%6d cdf1k=%.2f util=%.2f",
+				n, res.TotalTime, res.MutatorTime, res.GCTime, 100*res.GCShare(),
+				res.GCStats.MinorCount, res.GCStats.FullCount,
+				res.LockAcquisitions, res.LockContentions,
+				res.Lifespans.FractionBelow(1024), res.Utilization)
+		}
+	}
+}

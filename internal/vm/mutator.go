@@ -1,0 +1,308 @@
+package vm
+
+import (
+	"javasim/internal/locks"
+	"javasim/internal/objmodel"
+	"javasim/internal/sim"
+	"javasim/internal/trace"
+	"javasim/internal/workload"
+)
+
+// Mutator execution model
+//
+// Every function below runs inside a scheduler callback for the mutator's
+// thread (or resumes one via Submit), so "now" is the virtual time at which
+// the previous CPU segment ended. Each path must end the callback in one of
+// three ways: submit the next segment (continuation), park the thread
+// (lock wait, barrier, safepoint), or terminate it. Safepoint polls sit at
+// segment boundaries — between ops — which is exactly where a real JVM
+// polls, and gives stop-the-world requests a realistic time-to-safepoint.
+
+// pollCost is the CPU charge for checking a work source and finding the
+// phase boundary (a failed steal/poll).
+const pollCost = 80 * sim.Nanosecond
+
+// barrierHold is the critical-section length for barrier bookkeeping.
+const barrierHold = 120 * sim.Nanosecond
+
+// barrierPolls is how many times an arriving thread re-checks the work
+// source before parking at the phase barrier.
+const barrierPolls = 3
+
+// fetchWork drives a mutator that is between units: it honors pending
+// stop-the-world requests, phase barriers, and the work distribution, then
+// starts interpreting the next unit.
+func (v *vm) fetchWork(m *mutator) {
+	if v.stwPending && v.affectedBySTW(m) {
+		v.parkForGC(m, func() { v.fetchWork(m) })
+		return
+	}
+	if v.atPhaseBoundary() {
+		v.enterBarrier(m)
+		return
+	}
+	if v.queueLock != nil {
+		// Shared work queue: dequeue under the queue lock.
+		v.acquireThen(m, v.queueLock, v.spec.QueueLockHold, func() {
+			v.takeUnit(m)
+		})
+		return
+	}
+	v.takeUnit(m)
+}
+
+// atPhaseBoundary reports whether the global unit counter has crossed into
+// barrier territory for the current phase. No barrier gates the final
+// phase — threads simply drain the remaining work and terminate.
+func (v *vm) atPhaseBoundary() bool {
+	if v.spec.Phases <= 0 || v.currentPhase >= v.spec.Phases-1 {
+		return false
+	}
+	taken := v.spec.TotalUnits - v.run.Remaining()
+	return taken >= (v.currentPhase+1)*v.phaseUnits
+}
+
+// takeUnit draws the next unit for m, or terminates the thread when its
+// work is exhausted.
+func (v *vm) takeUnit(m *mutator) {
+	unit, ok := v.run.Take(m.idx)
+	if !ok {
+		v.finishMutator(m)
+		return
+	}
+	m.unit = unit
+	m.opIdx = 0
+	v.step(m)
+}
+
+// step interprets the current unit from m.opIdx.
+func (v *vm) step(m *mutator) {
+	if v.stwPending && v.affectedBySTW(m) {
+		v.parkForGC(m, func() { v.step(m) })
+		return
+	}
+	if m.opIdx >= len(m.unit.Ops) {
+		v.completeUnit(m)
+		return
+	}
+	op := &m.unit.Ops[m.opIdx]
+	switch op.Kind {
+	case workload.OpCompute:
+		m.opIdx++
+		v.sched.Submit(m.th, op.Dur, func() { v.step(m) })
+
+	case workload.OpAlloc:
+		if !v.allocate(m, op) {
+			// Allocation failure parked the mutator for GC; the retry
+			// re-enters step at the same op.
+			return
+		}
+		m.opIdx++
+		v.sched.Submit(m.th, op.Dur, func() { v.step(m) })
+
+	case workload.OpAcquire:
+		mon := v.shared[op.Lock]
+		m.opIdx++
+		v.acquireOwned(m, mon, func() { v.step(m) })
+
+	case workload.OpRelease:
+		mon := v.shared[op.Lock]
+		v.releaseMonitor(m, mon)
+		m.opIdx++
+		v.step(m)
+
+	default:
+		panic("vm: unknown op kind")
+	}
+}
+
+// completeUnit retires the objects scheduled to die at this unit's end and
+// moves on.
+func (v *vm) completeUnit(m *mutator) {
+	bucket := m.unitCount % int64(len(m.unitRing))
+	for _, id := range m.unitRing[bucket] {
+		v.kill(id)
+	}
+	m.unitRing[bucket] = m.unitRing[bucket][:0]
+	m.unitCount++
+	v.fetchWork(m)
+}
+
+// finishMutator retires a drained mutator and, when it is the last one,
+// either starts the next iteration or ends the run. Between iterations the
+// thread parks rather than terminating, so it can be revived.
+func (v *vm) finishMutator(m *mutator) {
+	lastIteration := v.iteration+1 >= v.cfg.Iterations
+	v.setMutatorState(m, stDone)
+	v.aliveCount--
+	v.emitTrace(trace.Event{Kind: trace.ThreadEnd, Time: v.sim.Now(), Thread: int32(m.idx)})
+	if lastIteration {
+		v.sched.Terminate(m.th)
+	} else {
+		v.sched.Block(m.th)
+	}
+	if v.aliveCount == 0 {
+		if lastIteration {
+			v.finishRun()
+		} else {
+			v.startNextIteration()
+		}
+		return
+	}
+	// A finishing thread may complete a barrier rendezvous (everyone
+	// else already waits) or a pending safepoint.
+	if v.barArrived > 0 && v.barArrived == v.aliveCount {
+		v.releaseBarrier(nil)
+	}
+	v.maybeStartGC()
+}
+
+// finishRun retires every still-live object at the final allocation clock
+// (as Elephant Tracks does at program exit) and stamps the end time.
+func (v *vm) finishRun() {
+	v.recordIteration()
+	v.finished = true
+	v.endTime = v.sim.Now()
+	v.sim.Cancel(v.guardEv)
+	var remaining []objmodel.ID
+	v.reg.ForEach(func(id objmodel.ID, o *objmodel.Object) {
+		if o.Live() {
+			remaining = append(remaining, id)
+		}
+	})
+	for _, id := range remaining {
+		v.kill(id)
+	}
+}
+
+// setMutatorState transitions m and maintains the running/safepoint census.
+func (v *vm) setMutatorState(m *mutator, s mutatorState) {
+	if m.state == s {
+		return
+	}
+	if m.state == stRunning {
+		v.runningCount--
+	}
+	if s == stRunning {
+		v.runningCount++
+	}
+	m.state = s
+}
+
+// --- Lock helpers -----------------------------------------------------
+
+// acquireThen takes mon for m (blocking on contention), holds it for hold
+// of CPU time, releases, then continues with then.
+func (v *vm) acquireThen(m *mutator, mon *locks.Monitor, hold sim.Time, then func()) {
+	v.acquireOwned(m, mon, func() {
+		v.sched.Submit(m.th, hold, func() {
+			v.releaseMonitor(m, mon)
+			then()
+		})
+	})
+}
+
+// acquireOwned takes mon for m and calls owned once the monitor is held.
+// On contention the mutator parks; the eventual handoff resumes it.
+func (v *vm) acquireOwned(m *mutator, mon *locks.Monitor, owned func()) {
+	if v.locks.Acquire(mon, locks.ThreadID(m.idx), v.sim.Now()) == locks.Acquired {
+		owned()
+		return
+	}
+	v.setMutatorState(m, stLockWait)
+	m.resume = func() {
+		m.resume = nil
+		v.setMutatorState(m, stRunning)
+		owned()
+	}
+	v.sched.Block(m.th)
+	v.maybeStartGC()
+}
+
+// releaseMonitor releases mon and wakes the next waiter if ownership was
+// handed off.
+func (v *vm) releaseMonitor(m *mutator, mon *locks.Monitor) {
+	next, handoff := v.locks.Release(mon, locks.ThreadID(m.idx), v.sim.Now())
+	if !handoff {
+		return
+	}
+	other := v.mutators[int(next)]
+	v.sched.Unblock(other.th)
+	resume := other.resume
+	v.sched.Submit(other.th, 0, resume)
+}
+
+// --- Phase barrier ------------------------------------------------------
+
+// enterBarrier models the end-of-phase rendezvous: the thread polls the
+// work source a few times (failed steals — counted lock traffic), then
+// registers its arrival under the barrier lock. The last arriver executes
+// the phase's sequential section and releases everyone.
+func (v *vm) enterBarrier(m *mutator) {
+	v.barrierPollLoop(m, barrierPolls)
+}
+
+func (v *vm) barrierPollLoop(m *mutator, left int) {
+	if left == 0 {
+		v.arriveBarrier(m)
+		return
+	}
+	pollLock := v.queueLock
+	if pollLock == nil {
+		pollLock = v.barrierLock
+	}
+	v.acquireThen(m, pollLock, pollCost, func() {
+		v.barrierPollLoop(m, left-1)
+	})
+}
+
+// arriveBarrier registers arrival under the barrier lock.
+func (v *vm) arriveBarrier(m *mutator) {
+	v.acquireThen(m, v.barrierLock, barrierHold, func() {
+		v.barArrived++
+		if v.barArrived >= v.aliveCount {
+			// Last arriver: run the sequential section, then open the
+			// next phase.
+			if v.seqPerPhase > 0 {
+				v.sched.Submit(m.th, v.seqPerPhase, func() { v.releaseBarrier(m) })
+			} else {
+				v.releaseBarrier(m)
+			}
+			return
+		}
+		v.setMutatorState(m, stBarrier)
+		v.sched.Block(m.th)
+		v.maybeStartGC()
+	})
+}
+
+// releaseBarrier opens the next phase and wakes every waiting thread.
+// opener is the last-arriving mutator, or nil when a thread termination
+// completed the rendezvous.
+func (v *vm) releaseBarrier(opener *mutator) {
+	v.currentPhase++
+	v.barArrived = 0
+	for _, w := range v.mutators {
+		if w.state != stBarrier {
+			continue
+		}
+		w := w
+		v.setMutatorState(w, stRunning)
+		v.sched.Unblock(w.th)
+		v.sched.Submit(w.th, 0, func() { v.fetchWork(w) })
+	}
+	if opener != nil {
+		v.fetchWork(opener)
+	}
+}
+
+// --- Stop-the-world coordination ---------------------------------------
+
+// parkForGC parks a mutator at a safepoint; onResume re-enters the
+// interpreter after the world restarts.
+func (v *vm) parkForGC(m *mutator, onResume func()) {
+	v.setMutatorState(m, stGCWait)
+	m.resume = onResume
+	v.sched.Block(m.th)
+	v.maybeStartGC()
+}

@@ -1,0 +1,66 @@
+package vm
+
+import (
+	"testing"
+
+	"javasim/internal/workload"
+)
+
+func TestPretenuringLearnsAndDiverts(t *testing.T) {
+	spec := workload.XalanSpec().Scale(0.3)
+	base, err := Run(spec, Config{Threads: 16, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := Run(spec, Config{Threads: 16, Seed: 42, Pretenuring: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.HeapStats.PretenuredAllocs != 0 {
+		t.Error("baseline pretenured allocations")
+	}
+	if pre.HeapStats.PretenuredAllocs == 0 {
+		t.Fatal("pretenuring enabled but no allocation was diverted")
+	}
+	// The whole point: less survivor copying once long-lived sites skip
+	// the nursery.
+	if pre.GCStats.CopiedBytes >= base.GCStats.CopiedBytes {
+		t.Errorf("pretenuring did not reduce survivor copying: %d vs %d",
+			pre.GCStats.CopiedBytes, base.GCStats.CopiedBytes)
+	}
+	// Conservation still holds.
+	if pre.Lifespans.Total() != pre.ObjectsAllocated {
+		t.Error("conservation broken under pretenuring")
+	}
+	t.Logf("copied: base=%.2fMB pretenured=%.2fMB; diverted=%d objs; gc: base=%v pre=%v",
+		float64(base.GCStats.CopiedBytes)/(1<<20), float64(pre.GCStats.CopiedBytes)/(1<<20),
+		pre.HeapStats.PretenuredAllocs, base.GCTime, pre.GCTime)
+}
+
+func TestPretenuringDeterministic(t *testing.T) {
+	spec := workload.XalanSpec().Scale(0.05)
+	run := func() *Result {
+		res, err := Run(spec, Config{Threads: 8, Seed: 3, Pretenuring: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalTime != b.TotalTime || a.HeapStats.PretenuredAllocs != b.HeapStats.PretenuredAllocs {
+		t.Error("pretenuring nondeterministic")
+	}
+}
+
+func TestPretenuringUnderPressure(t *testing.T) {
+	// A tight heap forces the pretenure path to hit AllocOld failures and
+	// recover through forced full collections.
+	spec := workload.XalanSpec().Scale(0.3)
+	res, err := Run(spec, Config{Threads: 32, Seed: 42, HeapFactor: 1.6, Pretenuring: true})
+	if err != nil {
+		t.Skipf("run failed under pressure: %v", err)
+	}
+	if res.Lifespans.Total() != res.ObjectsAllocated {
+		t.Error("conservation broken under pretenuring pressure")
+	}
+}

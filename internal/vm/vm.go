@@ -1,0 +1,528 @@
+// Package vm assembles the simulated Java virtual machine: mutator threads
+// executing workload units on the scheduled manycore machine, TLAB
+// allocation against the generational heap, stop-the-world parallel
+// collection with safepoints, monitor-based synchronization, and the
+// Elephant-Tracks/DTrace-style instrumentation the paper's measurements
+// rely on.
+//
+// One call to Run executes one benchmark configuration — the unit of the
+// paper's methodology (§II-B): fixed workload, chosen thread count, cores
+// equal to threads, heap at a multiple of the minimum requirement.
+package vm
+
+import (
+	"fmt"
+
+	"javasim/internal/gc"
+	"javasim/internal/heap"
+	"javasim/internal/lockprof"
+	"javasim/internal/locks"
+	"javasim/internal/machine"
+	"javasim/internal/metrics"
+	"javasim/internal/objmodel"
+	"javasim/internal/sched"
+	"javasim/internal/sim"
+	"javasim/internal/trace"
+	"javasim/internal/workload"
+)
+
+// Config selects the machine and JVM parameters for one run.
+type Config struct {
+	// Machine is the hardware model; zero value selects the paper's
+	// 4-socket Opteron 6168 testbed.
+	Machine machine.Config
+	// Threads is the mutator thread count. Zero defaults to 4.
+	Threads int
+	// Cores is the number of enabled cores. Zero follows the paper's
+	// methodology: cores = threads, capped at the machine size.
+	Cores int
+	// HeapFactor multiplies the workload's minimum heap requirement; the
+	// paper uses 3x. Zero defaults to 3.
+	HeapFactor float64
+	// Compartments splits eden into per-thread-group slices (future-work
+	// (b)); zero or one disables compartmentalization.
+	Compartments int
+	// GC configures the collector; GC.Workers zero selects the HotSpot
+	// heuristic for the enabled core count.
+	GC gc.Config
+	// Sched configures the scheduler, including phase-bias (future-work
+	// (a)). Steal defaults to on.
+	Sched sched.Config
+	// Seed drives all stochastic choices; equal seeds reproduce runs
+	// bit-for-bit.
+	Seed uint64
+	// Iterations repeats the workload inside the same JVM (DaCapo harness
+	// style): heap state persists, application state resets per
+	// iteration. Zero means one iteration.
+	Iterations int
+	// Pretenuring enables the allocation-site pretenuring learner:
+	// sites observed to produce long-lived objects allocate directly in
+	// the old generation, sidestepping the survivor copying that the
+	// paper shows inflating GC time at high thread counts.
+	Pretenuring bool
+	// TraceSink, when non-nil, receives the Elephant-Tracks-style event
+	// stream.
+	TraceSink trace.Sink
+	// LockProfiler, when non-nil, observes every monitor event.
+	LockProfiler *lockprof.Profiler
+	// MaxVirtualTime aborts runs that exceed this much simulated time;
+	// zero defaults to 300 virtual seconds.
+	MaxVirtualTime sim.Time
+	// HelperPeriod and HelperBurst shape the JVM background threads (JIT
+	// compiler, profiler): every period each helper computes for burst.
+	HelperPeriod sim.Time
+	HelperBurst  sim.Time
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Machine.Sockets == 0 {
+		c.Machine = machine.Opteron6168()
+	}
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.Cores == 0 {
+		c.Cores = c.Threads
+		if max := c.Machine.TotalCores(); c.Cores > max {
+			c.Cores = max
+		}
+	}
+	if c.HeapFactor == 0 {
+		c.HeapFactor = 3
+	}
+	if c.Compartments < 1 {
+		c.Compartments = 1
+	}
+	if c.GC.Workers == 0 {
+		c.GC.Workers = gc.DefaultWorkers(c.Cores)
+	}
+	if c.MaxVirtualTime == 0 {
+		c.MaxVirtualTime = 300 * sim.Second
+	}
+	if c.HelperPeriod == 0 {
+		c.HelperPeriod = 5 * sim.Millisecond
+	}
+	if c.HelperBurst == 0 {
+		c.HelperBurst = 100 * sim.Microsecond
+	}
+	if c.Iterations < 1 {
+		c.Iterations = 1
+	}
+	c.Sched.Steal = true
+	return c
+}
+
+// Result is the full measurement record of one run — everything the
+// paper's figures draw on.
+type Result struct {
+	Workload string
+	Threads  int
+	Cores    int
+
+	// TotalTime is the virtual wall-clock duration of the run; it splits
+	// exactly into MutatorTime and GCTime (stop-the-world, including
+	// time-to-safepoint).
+	TotalTime   sim.Time
+	MutatorTime sim.Time
+	GCTime      sim.Time
+	// SafepointTime is the time-to-safepoint portion of GCTime.
+	SafepointTime sim.Time
+
+	GCStats   gc.Stats
+	GCPauses  []gc.Pause
+	HeapStats heap.Stats
+
+	// LockAcquisitions and LockContentions are the Figure 1a/1b counters,
+	// aggregated over every monitor in the VM.
+	LockAcquisitions int64
+	LockContentions  int64
+
+	// Lifespans is the distribution of object lifespans in
+	// allocation-clock bytes (Figure 1c/1d).
+	Lifespans *metrics.Histogram
+
+	// ConcGCCPUTime is processor time consumed by concurrent GC threads
+	// (GC.Concurrent mode); it shows up as mutator-time dilation, not as
+	// pause time. ConcCycles counts completed concurrent cycles.
+	ConcGCCPUTime sim.Time
+	ConcCycles    int64
+
+	ObjectsAllocated int64
+	AllocatedBytes   int64
+
+	// Iterations holds per-iteration timings for multi-iteration runs
+	// (one entry for single-iteration runs).
+	Iterations []IterationStats
+
+	// HeapLog samples heap occupancy after every collection — the
+	// old-generation fill curve behind the paper's "mature region fills
+	// up more quickly" observation.
+	HeapLog []HeapSample
+
+	// PerThreadUnits is the §III work-distribution table: units executed
+	// by each mutator thread, summed across iterations.
+	PerThreadUnits []int64
+	// PerThreadCPU and PerThreadReadyWait expose scheduling behavior.
+	PerThreadCPU       []sim.Time
+	PerThreadReadyWait []sim.Time
+
+	Utilization float64
+}
+
+// HeapSample is heap state observed right after one collection.
+type HeapSample struct {
+	Time          sim.Time
+	OldUsed       int64
+	LiveBytes     int64
+	Fragmentation int64
+}
+
+// GCShare returns GC time as a fraction of total time.
+func (r *Result) GCShare() float64 {
+	if r.TotalTime == 0 {
+		return 0
+	}
+	return float64(r.GCTime) / float64(r.TotalTime)
+}
+
+// mutator states; transitions are driven entirely by scheduler callbacks.
+type mutatorState uint8
+
+const (
+	stRunning  mutatorState = iota // executing unit ops (on core or in queue)
+	stLockWait                     // parked on a monitor entry queue
+	stBarrier                      // parked at a phase barrier
+	stGCWait                       // parked for a stop-the-world collection
+	stDone                         // all work finished, thread terminated
+)
+
+type mutator struct {
+	idx         int
+	th          *sched.Thread
+	state       mutatorState
+	compartment int
+
+	tlab heap.TLAB
+
+	// Current unit interpretation state.
+	unit  workload.Unit
+	opIdx int
+
+	// resume continues the mutator after a lock handoff grants it the
+	// monitor it blocked on, or after a stop-the-world resume.
+	resume func()
+
+	// gcRetries counts consecutive allocation failures; repeated failure
+	// after collections is an OutOfMemoryError.
+	gcRetries int
+
+	// Death scheduling. allocRing buckets objects dying after N more own
+	// allocations; unitRing buckets objects dying at future unit ends.
+	allocRing  [16][]objmodel.ID
+	allocCount int64
+	unitRing   [64][]objmodel.ID
+	unitCount  int64
+}
+
+// vm is the assembled runtime for one run.
+type vm struct {
+	cfg  Config
+	spec workload.Spec
+
+	sim   *sim.Simulator
+	mach  *machine.Machine
+	sched *sched.Scheduler
+	heap  *heap.Heap
+	reg   *objmodel.Registry
+	gc    *gc.Collector
+	locks *locks.Table
+	run   *workload.Run
+
+	mutators []*mutator
+	helpers  []*sched.Thread
+
+	queueLock   *locks.Monitor
+	barrierLock *locks.Monitor
+	shared      []*locks.Monitor
+
+	// Phase-barrier state.
+	phaseUnits   int
+	currentPhase int
+	barArrived   int
+	seqPerPhase  sim.Time
+
+	// Stop-the-world state. With a compartmentalized heap, a minor
+	// collection stops only the owning compartment's mutators (stwGlobal
+	// false); a full collection — or any collection on an
+	// uncompartmentalized heap — stops everyone.
+	stwPending    bool
+	stwCollecting bool // the pause itself is in progress
+	stwGlobal     bool
+	stwComp       int
+	stwRequester  *mutator
+	stwStart      sim.Time
+	stwWantFull   bool  // a forced full collection is required (AllocOld failed)
+	gcQueue       []int // compartments with pending collection requests
+	runningCount  int   // mutators in stRunning
+	aliveCount    int   // mutators not in stDone
+	cms           cmsDriver
+	pret          pretenurer
+	gcTime        sim.Time
+	safepointTime sim.Time
+
+	// Iteration bookkeeping (Config.Iterations > 1).
+	iteration  int
+	iterStats  []IterationStats
+	iterStart  sim.Time
+	iterGCTime sim.Time
+	iterPauses int
+	unitsAccum []int64
+
+	heapLog   []HeapSample
+	lifespans *metrics.Histogram
+	finished  bool
+	endTime   sim.Time
+	runErr    error
+	guardEv   *sim.Event
+}
+
+// Run executes one benchmark under the given configuration and returns the
+// measurements.
+func Run(spec workload.Spec, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	run, err := workload.NewRun(spec, cfg.Threads, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	mach := machine.New(cfg.Machine)
+	if err := mach.EnableCores(cfg.Cores); err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
+
+	s := sim.New()
+	scheduler := sched.New(s, mach, cfg.Sched)
+
+	// Heap sizing per the paper: Factor x the workload's minimum heap.
+	// TLABs adapt to the eden share per thread, as HotSpot does; with
+	// compartments enabled, each eden slice must accommodate every thread
+	// mapped to it, so the TLAB shrinks accordingly.
+	edenEstimate := int64(float64(spec.MinHeapBytes())*cfg.HeapFactor) / 3 * 8 / 10
+	threadsPerComp := (cfg.Threads + cfg.Compartments - 1) / cfg.Compartments
+	slice := edenEstimate / int64(cfg.Compartments)
+	tlab := slice / int64(threadsPerComp*8)
+	if tlab < 1<<10 {
+		tlab = 1 << 10
+	}
+	if tlab > 64<<10 {
+		tlab = 64 << 10
+	}
+	hp := heap.New(heap.Config{
+		MinHeap:      spec.MinHeapBytes(),
+		Factor:       cfg.HeapFactor,
+		TLABSize:     tlab,
+		Compartments: cfg.Compartments,
+	})
+
+	reg := objmodel.NewRegistry(int(spec.TotalAllocBytes() / int64(max(spec.ObjSizeMeanB, 16))))
+	collector := gc.New(cfg.GC, hp, reg)
+
+	var lockListener locks.Listener
+	if cfg.LockProfiler != nil {
+		lockListener = cfg.LockProfiler
+	}
+	table := locks.NewTable(lockListener)
+
+	v := &vm{
+		cfg: cfg, spec: spec,
+		sim: s, mach: mach, sched: scheduler,
+		heap: hp, reg: reg, gc: collector, locks: table, run: run,
+		lifespans: metrics.NewHistogram(spec.Name + "-lifespans"),
+	}
+	// Phase-bias gating yields to safepoint requests so stopped-world
+	// latency stays bounded by segment lengths, not phase lengths.
+	scheduler.SetGateOverride(func() bool { return v.stwPending })
+
+	if cfg.Pretenuring {
+		v.pret.enabled = true
+		v.pret.longLifespan = hp.EdenSize()
+		collector.SetPromoteHook(v.pret.onPromote)
+	}
+
+	v.setupLocks()
+	v.setupPhases()
+	v.setupMutators()
+	v.setupHelpers()
+	v.setupCMS()
+
+	// Abort guard: a run exceeding the virtual budget indicates a model
+	// bug (livelock); surface it as an error rather than spinning. The
+	// guard is canceled at run end so it does not drag the clock forward.
+	v.guardEv = s.At(cfg.MaxVirtualTime, func() {
+		if !v.finished {
+			v.runErr = fmt.Errorf("vm: %s with %d threads exceeded %v virtual time",
+				spec.Name, cfg.Threads, cfg.MaxVirtualTime)
+			s.Stop()
+		}
+	})
+
+	s.Run()
+	if v.runErr != nil {
+		return nil, v.runErr
+	}
+	if !v.finished {
+		return nil, fmt.Errorf("vm: %s run stalled — simulation drained with %d mutators unfinished",
+			spec.Name, v.aliveCount)
+	}
+	return v.result(), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (v *vm) setupLocks() {
+	if v.spec.Distribution == workload.Queue {
+		v.queueLock = v.locks.Create(v.spec.Name + ".workQueue")
+	}
+	v.barrierLock = v.locks.Create(v.spec.Name + ".phaseBarrier")
+	for i := 0; i < v.spec.SharedLocks; i++ {
+		v.shared = append(v.shared, v.locks.Create(fmt.Sprintf("%s.shared%d", v.spec.Name, i)))
+	}
+}
+
+func (v *vm) setupPhases() {
+	if v.spec.Phases > 0 {
+		v.phaseUnits = v.spec.TotalUnits / v.spec.Phases
+		if v.phaseUnits < 1 {
+			v.phaseUnits = 1
+		}
+		totalCompute := float64(v.spec.TotalUnits) * float64(v.spec.UnitCompute)
+		sf := v.spec.SequentialFraction
+		if sf > 0 {
+			v.seqPerPhase = sim.Time(totalCompute * sf / (1 - sf) / float64(v.spec.Phases))
+		}
+	}
+}
+
+func (v *vm) setupMutators() {
+	v.mutators = make([]*mutator, v.cfg.Threads)
+	v.unitsAccum = make([]int64, v.cfg.Threads)
+	for i := range v.mutators {
+		m := &mutator{
+			idx:         i,
+			compartment: i % v.heap.Compartments(),
+			state:       stRunning,
+		}
+		m.th = v.sched.NewThread(fmt.Sprintf("worker-%d", i), sched.DefaultWeight)
+		m.th.MemoryIntensity = v.spec.MemoryIntensity
+		if v.cfg.Sched.Bias.Groups > 1 {
+			m.th.Group = i % v.cfg.Sched.Bias.Groups
+		}
+		v.mutators[i] = m
+		v.runningCount++
+		v.aliveCount++
+	}
+	for _, m := range v.mutators {
+		m := m
+		v.emitTrace(trace.Event{Kind: trace.ThreadStart, Time: 0, Thread: int32(m.idx)})
+		v.sched.Submit(m.th, 0, func() { v.fetchWork(m) })
+	}
+}
+
+// setupHelpers spawns the JVM background threads (JIT compiler, profiler).
+// They are low-weight and periodic: real competitors for cores, but not
+// workload executors.
+func (v *vm) setupHelpers() {
+	for i := 0; i < v.spec.HelperThreads; i++ {
+		th := v.sched.NewThread(fmt.Sprintf("jvm-helper-%d", i), sched.DefaultWeight/8)
+		v.helpers = append(v.helpers, th)
+		var cycle func()
+		cycle = func() {
+			if v.finished {
+				return
+			}
+			v.sched.Submit(th, v.cfg.HelperBurst, func() {
+				if v.finished {
+					return
+				}
+				v.sim.Schedule(v.cfg.HelperPeriod, cycle)
+			})
+		}
+		// Stagger helper wakeups so they do not thunder together.
+		v.sim.Schedule(sim.Time(i+1)*v.cfg.HelperPeriod/sim.Time(v.spec.HelperThreads+1), cycle)
+	}
+}
+
+func (v *vm) emitTrace(ev trace.Event) {
+	if v.cfg.TraceSink != nil {
+		v.cfg.TraceSink.Emit(ev)
+	}
+}
+
+// kill retires an object: records its death against the allocation clock,
+// feeds the lifespan histogram, and emits the trace event.
+func (v *vm) kill(id objmodel.ID) {
+	now := v.sim.Now()
+	v.reg.Kill(id, now)
+	o := v.reg.Get(id)
+	v.lifespans.Add(o.Lifespan())
+	if v.pret.enabled {
+		v.pret.onDeath(id, o.Lifespan())
+	}
+	v.emitTrace(trace.Event{
+		Kind: trace.Death, Time: now, Thread: o.Thread,
+		Object: uint32(id), Clock: o.Death,
+	})
+}
+
+// result assembles the final measurement record.
+func (v *vm) result() *Result {
+	res := &Result{
+		Workload:         v.spec.Name,
+		Threads:          v.cfg.Threads,
+		Cores:            v.cfg.Cores,
+		TotalTime:        v.endTime,
+		GCTime:           v.gcTime,
+		MutatorTime:      v.endTime - v.gcTime,
+		SafepointTime:    v.safepointTime,
+		GCStats:          v.gc.Stats(),
+		GCPauses:         v.gc.Pauses(),
+		HeapStats:        v.heap.Stats(),
+		LockAcquisitions: v.locks.TotalAcquisitions(),
+		LockContentions:  v.locks.TotalContentions(),
+		Lifespans:        v.lifespans,
+		ObjectsAllocated: v.reg.Count(),
+		AllocatedBytes:   v.reg.Clock(),
+		ConcGCCPUTime:    v.cms.cpuTime,
+		ConcCycles:       v.cms.cycles,
+		Iterations:       v.iterStats,
+		HeapLog:          v.heapLog,
+	}
+	units := v.run.UnitsTaken()
+	for i := range units {
+		units[i] += v.unitsAccum[i]
+	}
+	res.PerThreadUnits = units
+	// Utilization over the run window [0, endTime]: the simulator's final
+	// clock includes post-run helper drainage, so it is not the divisor.
+	if v.endTime > 0 && v.cfg.Cores > 0 {
+		var busy sim.Time
+		for _, c := range v.mach.EnabledCores() {
+			busy += v.mach.Core(c).BusyTime
+		}
+		res.Utilization = float64(busy) / float64(v.endTime*sim.Time(v.cfg.Cores))
+	}
+	for _, m := range v.mutators {
+		res.PerThreadCPU = append(res.PerThreadCPU, m.th.CPUTime())
+		res.PerThreadReadyWait = append(res.PerThreadReadyWait, m.th.ReadyWait())
+	}
+	return res
+}

@@ -1,0 +1,31 @@
+package workload
+
+import "testing"
+
+// BenchmarkUnitGeneration measures the per-unit op-stream generator, the
+// hottest workload-side path.
+func BenchmarkUnitGeneration(b *testing.B) {
+	r, err := NewRun(XalanSpec(), 8, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Take(i % 8); !ok {
+			b.StopTimer()
+			r, _ = NewRun(XalanSpec(), 8, uint64(i))
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkZipfAssignment measures the static distribution computation at
+// a high thread count.
+func BenchmarkZipfAssignment(b *testing.B) {
+	spec := H2Spec()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRun(spec, 48, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON encoding for Spec lets users define custom workload models in
+// files and run them through cmd/javasim -spec. DistKind marshals as its
+// name ("queue", "zipf", "capped") so the files read naturally.
+
+// MarshalJSON renders the distribution kind by name.
+func (d DistKind) MarshalJSON() ([]byte, error) {
+	s := d.String()
+	if s == "invalid" {
+		return nil, fmt.Errorf("workload: cannot marshal invalid DistKind %d", d)
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON accepts "queue", "zipf", or "capped".
+func (d *DistKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "queue":
+		*d = Queue
+	case "zipf":
+		*d = Zipf
+	case "capped":
+		*d = Capped
+	default:
+		return fmt.Errorf("workload: unknown distribution %q (queue|zipf|capped)", s)
+	}
+	return nil
+}
+
+// LoadSpec reads and validates a Spec from JSON. Unknown fields are
+// rejected so typos in hand-written files surface immediately.
+func LoadSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("workload: decode spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// WriteJSON renders the spec as indented JSON — a template for custom
+// workload files.
+func (s Spec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,117 @@
+// Package javasim reproduces "Factors Affecting Scalability of
+// Multithreaded Java Applications on Manycore Systems" (Qian, Li,
+// Srisa-an, Jiang, Seth — ISPASS 2015) as a deterministic discrete-event
+// simulation, and exposes the experiment framework that regenerates every
+// figure and table in the paper.
+//
+// The simulated system is a 48-core four-socket NUMA machine running a
+// HotSpot-style JVM: an OS scheduler with per-core run queues, a
+// generational heap with TLAB allocation, a stop-the-world parallel
+// collector with safepoints, Java object monitors, and models of six
+// DaCapo-9.12 benchmarks (sunflow, lusearch, xalan, h2, eclipse, jython).
+// Object lifespans are measured in allocation-clock bytes exactly as the
+// paper's Elephant Tracks methodology defines them, and lock behavior is
+// profiled the way the paper's DTrace scripts counted acquisitions and
+// contention events.
+//
+// # Quick start
+//
+//	spec, _ := javasim.BenchmarkByName("xalan")
+//	res, err := javasim.Run(spec, javasim.Config{Threads: 8, Seed: 42})
+//	if err != nil { ... }
+//	fmt.Println(res.TotalTime, res.GCTime, res.Lifespans.FractionBelow(1024))
+//
+// # Reproducing the paper
+//
+//	suite := javasim.NewSuite(javasim.ExperimentConfig{})
+//	tables, err := suite.AllArtifacts() // Fig 1a-1d, Fig 2, all tables
+//
+// Runs are deterministic: the same Config.Seed reproduces a run
+// bit-for-bit. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the paper-versus-measured record.
+package javasim
+
+import (
+	"javasim/internal/core"
+	"javasim/internal/lockprof"
+	"javasim/internal/metrics"
+	"javasim/internal/report"
+	"javasim/internal/sim"
+	"javasim/internal/trace"
+	"javasim/internal/vm"
+	"javasim/internal/workload"
+)
+
+// Core run types.
+type (
+	// Config selects machine and JVM parameters for one run; the zero
+	// value reproduces the paper's defaults (Opteron 6168, cores =
+	// threads, 3x min heap).
+	Config = vm.Config
+	// Result is the full measurement record of one run.
+	Result = vm.Result
+	// Spec describes one benchmark workload.
+	Spec = workload.Spec
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+)
+
+// Analysis types.
+type (
+	// Sweep is one workload measured across thread counts.
+	Sweep = core.Sweep
+	// SweepConfig drives RunSweep.
+	SweepConfig = core.SweepConfig
+	// Classification is the scalable/non-scalable verdict for a sweep.
+	Classification = core.Classification
+	// Factors is the paper's scalability-factor decomposition.
+	Factors = core.Factors
+	// ExperimentConfig parameterizes the reproduction suite.
+	ExperimentConfig = core.ExperimentConfig
+	// Suite regenerates the paper's figures and tables.
+	Suite = core.Suite
+	// Table is a rendered figure or table.
+	Table = report.Table
+	// Histogram is a power-of-two bucketed distribution (lifespans,
+	// pauses).
+	Histogram = metrics.Histogram
+	// LockProfiler aggregates DTrace-style per-lock statistics.
+	LockProfiler = lockprof.Profiler
+	// TraceSink receives Elephant-Tracks-style object events.
+	TraceSink = trace.Sink
+	// MemoryTrace buffers trace events in memory.
+	MemoryTrace = trace.MemorySink
+)
+
+// DefaultThreadCounts is the paper's sweep: 4 to 48 threads with cores =
+// threads.
+var DefaultThreadCounts = core.DefaultThreadCounts
+
+// Run executes one benchmark configuration on the simulated JVM.
+func Run(spec Spec, cfg Config) (*Result, error) { return vm.Run(spec, cfg) }
+
+// RunSweep measures spec across thread counts.
+func RunSweep(spec Spec, cfg SweepConfig) (*Sweep, error) { return core.RunSweep(spec, cfg) }
+
+// NewSuite builds the experiment suite that regenerates every figure and
+// table from the paper.
+func NewSuite(cfg ExperimentConfig) *Suite { return core.NewSuite(cfg) }
+
+// NewLockProfiler returns an empty DTrace-style lock profiler to attach to
+// Config.LockProfiler.
+func NewLockProfiler() *LockProfiler { return lockprof.New() }
+
+// Benchmarks returns the six DaCapo-9.12 workload models in the paper's
+// order: the scalable trio, then the non-scalable trio.
+func Benchmarks() []Spec { return workload.All() }
+
+// ExtensionBenchmarks returns workloads beyond the paper's six (e.g. the
+// "server" model used by the future-work studies).
+func ExtensionBenchmarks() []Spec { return workload.Extensions() }
+
+// BenchmarkByName looks up one of the six benchmarks.
+func BenchmarkByName(name string) (Spec, bool) { return workload.ByName(name) }
+
+// PaperScalable reports the paper's published classification for a
+// benchmark name.
+func PaperScalable(name string) bool { return workload.Scalable(name) }

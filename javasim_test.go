@@ -1,0 +1,76 @@
+package javasim_test
+
+import (
+	"testing"
+
+	"javasim"
+)
+
+func TestFacadeRun(t *testing.T) {
+	spec, ok := javasim.BenchmarkByName("xalan")
+	if !ok {
+		t.Fatal("xalan missing")
+	}
+	res, err := javasim.Run(spec.Scale(0.02), javasim.Config{Threads: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 || res.ObjectsAllocated == 0 {
+		t.Errorf("degenerate result %+v", res)
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	bs := javasim.Benchmarks()
+	if len(bs) != 6 {
+		t.Fatalf("benchmarks = %d, want 6", len(bs))
+	}
+	scalable := 0
+	for _, b := range bs {
+		if javasim.PaperScalable(b.Name) {
+			scalable++
+		}
+	}
+	if scalable != 3 {
+		t.Errorf("scalable count = %d, want 3", scalable)
+	}
+	if _, ok := javasim.BenchmarkByName("nope"); ok {
+		t.Error("unknown benchmark found")
+	}
+}
+
+func TestFacadeSweepAndSuite(t *testing.T) {
+	spec, _ := javasim.BenchmarkByName("jython")
+	sw, err := javasim.RunSweep(spec.Scale(0.02), javasim.SweepConfig{
+		ThreadCounts: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 {
+		t.Errorf("points = %d", len(sw.Points))
+	}
+	suite := javasim.NewSuite(javasim.ExperimentConfig{
+		ThreadCounts: []int{2, 4},
+		Scale:        0.02,
+	})
+	tb, err := suite.Fig1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Errorf("fig1a rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFacadeLockProfiler(t *testing.T) {
+	spec, _ := javasim.BenchmarkByName("h2")
+	prof := javasim.NewLockProfiler()
+	_, err := javasim.Run(spec.Scale(0.02), javasim.Config{Threads: 4, Seed: 1, LockProfiler: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Summary().Acquisitions == 0 {
+		t.Error("profiler saw nothing")
+	}
+}
