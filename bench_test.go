@@ -15,16 +15,22 @@
 package javasim_test
 
 import (
+	"context"
 	"testing"
 
 	"javasim"
 	"javasim/internal/metrics"
 )
 
+var benchCtx = context.Background()
+
 // benchSuite builds a reduced-scale suite mirroring the paper's sweep
-// shape; scale 0.15 keeps one full regeneration under a second.
+// shape; scale 0.15 keeps one full regeneration under a second. Each call
+// constructs a fresh engine so every benchmark iteration simulates from a
+// cold cache — otherwise the memoizing engine would turn iterations 2..N
+// into cache-lookup measurements.
 func benchSuite() *javasim.Suite {
-	return javasim.NewSuite(javasim.ExperimentConfig{
+	return javasim.NewEngine().Suite(javasim.ExperimentConfig{
 		ThreadCounts: []int{4, 16, 48},
 		Scale:        0.15,
 		Seed:         42,
@@ -33,7 +39,7 @@ func benchSuite() *javasim.Suite {
 
 func sweepOrFatal(b *testing.B, s *javasim.Suite, name string) *javasim.Sweep {
 	b.Helper()
-	sw, err := s.SweepFor(name)
+	sw, err := s.SweepFor(benchCtx, name)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -45,7 +51,7 @@ func BenchmarkFig1aLockAcquisitions(b *testing.B) {
 	var growth float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
-		if _, err := s.Fig1a(); err != nil {
+		if _, err := s.Fig1a(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 		growth = metrics.GrowthFactor(sweepOrFatal(b, s, "xalan").Acquisitions())
@@ -58,7 +64,7 @@ func BenchmarkFig1bLockContentions(b *testing.B) {
 	var growth float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
-		if _, err := s.Fig1b(); err != nil {
+		if _, err := s.Fig1b(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 		growth = metrics.GrowthFactor(sweepOrFatal(b, s, "xalan").Contentions())
@@ -71,7 +77,7 @@ func BenchmarkFig1cEclipseLifetimes(b *testing.B) {
 	var shift float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
-		if _, err := s.Fig1c(); err != nil {
+		if _, err := s.Fig1c(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 		cdf := sweepOrFatal(b, s, "eclipse").CDFBelow(1024)
@@ -85,7 +91,7 @@ func BenchmarkFig1dXalanLifetimes(b *testing.B) {
 	var shift float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
-		if _, err := s.Fig1d(); err != nil {
+		if _, err := s.Fig1d(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 		cdf := sweepOrFatal(b, s, "xalan").CDFBelow(1024)
@@ -99,7 +105,7 @@ func BenchmarkFig2MutatorGC(b *testing.B) {
 	var gcGrowth float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
-		if _, err := s.Fig2(); err != nil {
+		if _, err := s.Fig2(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 		gcGrowth = metrics.GrowthFactor(sweepOrFatal(b, s, "xalan").GCSeconds())
@@ -112,7 +118,7 @@ func BenchmarkTableClassification(b *testing.B) {
 	var matches float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
-		if _, err := s.ClassificationTable(); err != nil {
+		if _, err := s.ClassificationTable(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 		matches = 0
@@ -131,7 +137,7 @@ func BenchmarkTableWorkDistribution(b *testing.B) {
 	var top4 float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
-		if _, err := s.WorkDistributionTable(); err != nil {
+		if _, err := s.WorkDistributionTable(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 		top4 = sweepOrFatal(b, s, "jython").ComputeFactors().Top4Share
@@ -143,7 +149,7 @@ func BenchmarkTableWorkDistribution(b *testing.B) {
 // ablation (E8).
 func BenchmarkAblationBiasedScheduling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := benchSuite().AblationBias(); err != nil {
+		if _, err := benchSuite().AblationBias(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -153,7 +159,7 @@ func BenchmarkAblationBiasedScheduling(b *testing.B) {
 // ablation (E9).
 func BenchmarkAblationCompartmentHeap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := benchSuite().AblationCompartments(); err != nil {
+		if _, err := benchSuite().AblationCompartments(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -164,10 +170,11 @@ func BenchmarkAblationCompartmentHeap(b *testing.B) {
 func BenchmarkVMRun(b *testing.B) {
 	spec, _ := javasim.BenchmarkByName("xalan")
 	spec = spec.Scale(0.1)
+	eng := javasim.NewEngine(javasim.WithCache(0)) // uncached: measure simulation, not lookups
 	var virtualNS float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := javasim.Run(spec, javasim.Config{Threads: 8, Seed: uint64(i + 1)})
+		res, err := eng.Run(benchCtx, spec, javasim.Config{Threads: 8, Seed: uint64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,9 +187,10 @@ func BenchmarkVMRun(b *testing.B) {
 func BenchmarkVMRunManycore(b *testing.B) {
 	spec, _ := javasim.BenchmarkByName("sunflow")
 	spec = spec.Scale(0.1)
+	eng := javasim.NewEngine(javasim.WithCache(0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := javasim.Run(spec, javasim.Config{Threads: 48, Seed: uint64(i + 1)}); err != nil {
+		if _, err := eng.Run(benchCtx, spec, javasim.Config{Threads: 48, Seed: uint64(i + 1)}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,5 +1,7 @@
-// Command figures regenerates the paper's figures and tables (DESIGN.md
-// experiment index E1-E9).
+// Command figures regenerates the paper's figures and tables through a
+// javasim.Engine: sweeps run on a bounded worker pool, repeated
+// configurations are memoized, Ctrl-C cancels the batch mid-run, and
+// -progress streams per-run events while long batches execute.
 //
 // Usage:
 //
@@ -7,12 +9,15 @@
 //	figures -fig 1a                 # one figure: 1a|1b|1c|1d|2
 //	figures -table classification   # classification|workdist|factors|biased|compartment
 //	figures -scale 0.2 -threads 4,16,48 -csv
+//	figures -study all -parallel 8 -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -21,16 +26,32 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 1a|1b|1c|1d|2 (empty = all artifacts)")
-		table   = flag.String("table", "", "table to regenerate: classification|workdist|factors|biased|compartment")
-		study   = flag.String("study", "", "design-choice study: heapfactor|gcworkers|tenuring|numa|collector|pretenure|replication|all")
-		scale   = flag.Float64("scale", 1, "workload scale factor (0,1]")
-		seed    = flag.Uint64("seed", 42, "deterministic seed")
-		threads = flag.String("threads", "", "comma-separated thread counts (default 4,8,16,24,32,48)")
-		csvOut  = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
-		chart   = flag.Bool("chart", false, "with -fig 2: render ASCII charts instead of the table")
+		fig      = flag.String("fig", "", "figure to regenerate: 1a|1b|1c|1d|2 (empty = all artifacts)")
+		table    = flag.String("table", "", "table to regenerate: classification|workdist|factors|biased|compartment")
+		study    = flag.String("study", "", "design-choice study: heapfactor|gcworkers|tenuring|numa|collector|pretenure|replication|all")
+		scale    = flag.Float64("scale", 1, "workload scale factor (0,1]")
+		seed     = flag.Uint64("seed", 42, "deterministic seed")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default 4,8,16,24,32,48)")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+		chart    = flag.Bool("chart", false, "with -fig 2: render ASCII charts instead of the table")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "stream engine progress events to stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []javasim.Option{}
+	if *parallel > 0 {
+		opts = append(opts, javasim.WithParallelism(*parallel))
+	}
+	if *progress {
+		opts = append(opts, javasim.WithObserver(javasim.ObserverFunc(func(ev javasim.Event) {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", ev)
+		})))
+	}
+	eng := javasim.NewEngine(opts...)
 
 	cfg := javasim.ExperimentConfig{Scale: *scale, Seed: *seed}
 	if *threads != "" {
@@ -42,7 +63,7 @@ func main() {
 			cfg.ThreadCounts = append(cfg.ThreadCounts, n)
 		}
 	}
-	suite := javasim.NewSuite(cfg)
+	suite := eng.Suite(cfg)
 
 	var tables []*javasim.Table
 	add := func(t *javasim.Table, err error) {
@@ -56,16 +77,16 @@ func main() {
 	case *fig != "":
 		switch *fig {
 		case "1a":
-			add(suite.Fig1a())
+			add(suite.Fig1a(ctx))
 		case "1b":
-			add(suite.Fig1b())
+			add(suite.Fig1b(ctx))
 		case "1c":
-			add(suite.Fig1c())
+			add(suite.Fig1c(ctx))
 		case "1d":
-			add(suite.Fig1d())
+			add(suite.Fig1d(ctx))
 		case "2":
 			if *chart {
-				charts, err := suite.Fig2Chart()
+				charts, err := suite.Fig2Chart(ctx)
 				if err != nil {
 					fatalf("%v", err)
 				}
@@ -77,43 +98,43 @@ func main() {
 				}
 				return
 			}
-			add(suite.Fig2())
+			add(suite.Fig2(ctx))
 		default:
 			fatalf("unknown figure %q (1a|1b|1c|1d|2)", *fig)
 		}
 	case *table != "":
 		switch *table {
 		case "classification":
-			add(suite.ClassificationTable())
+			add(suite.ClassificationTable(ctx))
 		case "workdist":
-			add(suite.WorkDistributionTable())
+			add(suite.WorkDistributionTable(ctx))
 		case "factors":
-			add(suite.FactorsTable())
+			add(suite.FactorsTable(ctx))
 		case "biased":
-			add(suite.AblationBias())
+			add(suite.AblationBias(ctx))
 		case "compartment":
-			add(suite.AblationCompartments())
+			add(suite.AblationCompartments(ctx))
 		default:
 			fatalf("unknown table %q", *table)
 		}
 	case *study != "":
 		switch *study {
 		case "heapfactor":
-			add(suite.StudyHeapFactor())
+			add(suite.StudyHeapFactor(ctx))
 		case "gcworkers":
-			add(suite.StudyGCWorkers())
+			add(suite.StudyGCWorkers(ctx))
 		case "tenuring":
-			add(suite.StudyTenuring())
+			add(suite.StudyTenuring(ctx))
 		case "numa":
-			add(suite.StudyNUMA())
+			add(suite.StudyNUMA(ctx))
 		case "replication":
-			add(suite.StudyReplication())
+			add(suite.StudyReplication(ctx))
 		case "collector":
-			add(suite.StudyCollector())
+			add(suite.StudyCollector(ctx))
 		case "pretenure":
-			add(suite.StudyPretenuring())
+			add(suite.StudyPretenuring(ctx))
 		case "all":
-			all, err := suite.AllStudies()
+			all, err := suite.AllStudies(ctx)
 			if err != nil {
 				fatalf("%v", err)
 			}
@@ -122,7 +143,7 @@ func main() {
 			fatalf("unknown study %q", *study)
 		}
 	default:
-		all, err := suite.AllArtifacts()
+		all, err := suite.AllArtifacts(ctx)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -142,6 +163,11 @@ func main() {
 		if err != nil {
 			fatalf("render: %v", err)
 		}
+	}
+	if *progress {
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "figures: %d simulations, %d cache hits, %d memoized\n",
+			st.Simulations, st.CacheHits, st.CachedResults)
 	}
 }
 

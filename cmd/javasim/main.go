@@ -1,6 +1,7 @@
 // Command javasim runs one benchmark configuration on the simulated JVM
 // and prints the measurement record — the per-run driver behind the
-// paper's methodology (§II-B).
+// paper's methodology (§II-B). The run dispatches through a
+// javasim.Engine, so Ctrl-C cancels it mid-simulation.
 //
 // Usage:
 //
@@ -10,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"javasim"
@@ -106,7 +109,10 @@ func main() {
 		cfg.LockProfiler = prof
 	}
 
-	res, err := javasim.Run(spec, cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := javasim.NewEngine(javasim.WithParallelism(1))
+	res, err := eng.Run(ctx, spec, cfg)
 	if err != nil {
 		fatalf("run: %v", err)
 	}

@@ -1,6 +1,8 @@
 // Command lockstat profiles lock behavior of a benchmark run — the
 // simulator's equivalent of the DTrace scripts the paper used to count
-// lock acquisitions and contention instances (§II-B).
+// lock acquisitions and contention instances (§II-B). Runs dispatch
+// through a javasim.Engine: the -sweep mode executes its points on the
+// engine's bounded worker pool, and Ctrl-C cancels mid-run.
 //
 // Usage:
 //
@@ -8,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"javasim"
 )
@@ -34,24 +38,29 @@ func main() {
 		spec = spec.Scale(*scale)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := javasim.NewEngine()
+
 	if *sweep {
+		sw, err := eng.Sweep(ctx, spec, javasim.SweepConfig{Base: javasim.Config{Seed: *seed}})
+		if err != nil {
+			fatalf("%v", err)
+		}
 		fmt.Printf("%-8s %14s %14s %10s\n", "threads", "acquisitions", "contentions", "rate")
-		for _, n := range javasim.DefaultThreadCounts {
-			res, err := javasim.Run(spec, javasim.Config{Threads: n, Seed: *seed})
-			if err != nil {
-				fatalf("%v", err)
-			}
+		for _, p := range sw.Points {
+			res := p.Result
 			rate := 0.0
 			if res.LockAcquisitions > 0 {
 				rate = float64(res.LockContentions) / float64(res.LockAcquisitions)
 			}
-			fmt.Printf("%-8d %14d %14d %9.2f%%\n", n, res.LockAcquisitions, res.LockContentions, 100*rate)
+			fmt.Printf("%-8d %14d %14d %9.2f%%\n", p.Threads, res.LockAcquisitions, res.LockContentions, 100*rate)
 		}
 		return
 	}
 
 	prof := javasim.NewLockProfiler()
-	res, err := javasim.Run(spec, javasim.Config{Threads: *threads, Seed: *seed, LockProfiler: prof})
+	res, err := eng.Run(ctx, spec, javasim.Config{Threads: *threads, Seed: *seed, LockProfiler: prof})
 	if err != nil {
 		fatalf("%v", err)
 	}

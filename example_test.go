@@ -1,17 +1,19 @@
 package javasim_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"javasim"
 )
 
-// ExampleRun executes one benchmark configuration and reads the paper's
-// three headline measurements.
-func ExampleRun() {
+// ExampleEngine_Run executes one benchmark configuration through an
+// engine and reads the paper's three headline measurements.
+func ExampleEngine_Run() {
+	eng := javasim.NewEngine()
 	spec, _ := javasim.BenchmarkByName("xalan")
-	res, err := javasim.Run(spec.Scale(0.05), javasim.Config{Threads: 8, Seed: 42})
+	res, err := eng.Run(context.Background(), spec.Scale(0.05), javasim.Config{Threads: 8, Seed: 42})
 	if err != nil {
 		panic(err)
 	}
@@ -22,8 +24,24 @@ func ExampleRun() {
 	// models — so this example asserts nothing about the exact values.
 }
 
-// ExampleRunSweep sweeps thread counts and applies the paper's
-// scalability classification.
+// ExampleEngine_Sweep sweeps thread counts on the engine's bounded worker
+// pool and applies the paper's scalability classification.
+func ExampleEngine_Sweep() {
+	eng := javasim.NewEngine(javasim.WithParallelism(2))
+	spec, _ := javasim.BenchmarkByName("jython")
+	sw, err := eng.Sweep(context.Background(), spec.Scale(0.05), javasim.SweepConfig{
+		ThreadCounts: []int{4, 16},
+	})
+	if err != nil {
+		panic(err)
+	}
+	c := sw.Classify(2.0)
+	fmt.Println("scalable:", c.Scalable)
+	// Output: scalable: false
+}
+
+// ExampleRunSweep exercises the deprecated free-function API, which
+// delegates to the shared default engine.
 func ExampleRunSweep() {
 	spec, _ := javasim.BenchmarkByName("jython")
 	sw, err := javasim.RunSweep(spec.Scale(0.05), javasim.SweepConfig{
@@ -39,15 +57,40 @@ func ExampleRunSweep() {
 
 // ExampleSuite_Fig1d regenerates one of the paper's figures as a table.
 func ExampleSuite_Fig1d() {
-	suite := javasim.NewSuite(javasim.ExperimentConfig{
+	suite := javasim.NewEngine().Suite(javasim.ExperimentConfig{
 		ThreadCounts: []int{4, 16},
 		Scale:        0.05,
 	})
-	table, err := suite.Fig1d()
+	table, err := suite.Fig1d(context.Background())
 	if err != nil {
 		panic(err)
 	}
 	table.WriteASCII(os.Stdout)
 	// The rendered table lists the lifespan CDF of xalan at both thread
 	// counts; values depend on the calibrated models.
+}
+
+// ExampleWithObserver streams progress events while a sweep runs and
+// counts how many simulations the engine actually executed.
+func ExampleWithObserver() {
+	var started int
+	eng := javasim.NewEngine(
+		javasim.WithParallelism(1),
+		javasim.WithObserver(javasim.ObserverFunc(func(ev javasim.Event) {
+			if ev.Kind == javasim.RunStarted {
+				started++
+			}
+		})),
+	)
+	spec, _ := javasim.BenchmarkByName("jython")
+	cfg := javasim.SweepConfig{ThreadCounts: []int{2, 4}}
+	if _, err := eng.Sweep(context.Background(), spec.Scale(0.05), cfg); err != nil {
+		panic(err)
+	}
+	if _, err := eng.Sweep(context.Background(), spec.Scale(0.05), cfg); err != nil {
+		panic(err)
+	}
+	// The second sweep is answered entirely from the memoizing cache.
+	fmt.Println("simulations:", started)
+	// Output: simulations: 2
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,10 @@ import (
 )
 
 const threads = 48
+
+// The three ablation runs share one engine, so a repeated baseline
+// configuration would be answered from the memoizing cache.
+var eng = javasim.NewEngine()
 
 func run(label string, mutate func(*javasim.Config)) *javasim.Result {
 	spec, ok := javasim.BenchmarkByName("xalan")
@@ -26,7 +31,7 @@ func run(label string, mutate func(*javasim.Config)) *javasim.Result {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	res, err := javasim.Run(spec.Scale(0.5), cfg)
+	res, err := eng.Run(context.Background(), spec.Scale(0.5), cfg)
 	if err != nil {
 		log.Fatalf("%s: %v", label, err)
 	}

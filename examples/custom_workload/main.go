@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,8 +62,11 @@ func configStoreSpec() javasim.Spec {
 	return s
 }
 
+// eng sweeps every custom workload through one bounded worker pool.
+var eng = javasim.NewEngine(javasim.WithParallelism(4))
+
 func study(spec javasim.Spec) {
-	sw, err := javasim.RunSweep(spec, javasim.SweepConfig{
+	sw, err := eng.Sweep(context.Background(), spec, javasim.SweepConfig{
 		ThreadCounts: []int{4, 8, 16, 32},
 	})
 	if err != nil {

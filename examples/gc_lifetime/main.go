@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,13 +15,17 @@ import (
 
 const workloadName = "xalan"
 
+// Trace-carrying runs bypass the engine's cache: their product is the
+// event stream, which a memoized Result could not replay.
+var eng = javasim.NewEngine()
+
 func runAt(threads int) (*javasim.Result, *javasim.MemoryTrace) {
 	spec, ok := javasim.BenchmarkByName(workloadName)
 	if !ok {
 		log.Fatalf("unknown benchmark %s", workloadName)
 	}
 	var sink javasim.MemoryTrace
-	res, err := javasim.Run(spec.Scale(0.5), javasim.Config{
+	res, err := eng.Run(context.Background(), spec.Scale(0.5), javasim.Config{
 		Threads:   threads,
 		Seed:      42,
 		TraceSink: &sink,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,13 +16,17 @@ import (
 	"javasim"
 )
 
+// One engine serves every profiled run; runs carrying a LockProfiler
+// bypass the result cache, since their value is the profiler's stream.
+var eng = javasim.NewEngine()
+
 func profile(name string, threads int) {
 	spec, ok := javasim.BenchmarkByName(name)
 	if !ok {
 		log.Fatalf("unknown benchmark %s", name)
 	}
 	prof := javasim.NewLockProfiler()
-	res, err := javasim.Run(spec.Scale(0.5), javasim.Config{
+	res, err := eng.Run(context.Background(), spec.Scale(0.5), javasim.Config{
 		Threads:      threads,
 		Seed:         42,
 		LockProfiler: prof,

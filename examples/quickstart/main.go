@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,11 +19,14 @@ func main() {
 		log.Fatal("xalan model missing")
 	}
 
-	// The zero-value Config reproduces the paper's setup: a four-socket
-	// Opteron 6168, cores = threads, heap at 3x the minimum requirement,
-	// HotSpot's throughput collector. Seeded runs are bit-for-bit
-	// reproducible.
-	res, err := javasim.Run(spec, javasim.Config{Threads: 16, Seed: 42})
+	// All simulation goes through an Engine: it bounds how many
+	// simulations run at once, memoizes results, and honors context
+	// cancellation. The zero-value Config reproduces the paper's setup: a
+	// four-socket Opteron 6168, cores = threads, heap at 3x the minimum
+	// requirement, HotSpot's throughput collector. Seeded runs are
+	// bit-for-bit reproducible.
+	eng := javasim.NewEngine()
+	res, err := eng.Run(context.Background(), spec, javasim.Config{Threads: 16, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,9 +3,16 @@
 // each as scalable or non-scalable (§II-C), and prints the factor
 // decomposition that explains *why* — sequential fraction, lock
 // contention growth, GC share growth, lifespan shift, and work imbalance.
+//
+// The whole study runs through one javasim.Engine: sweeps execute on a
+// bounded worker pool, an observer streams progress as sweeps complete,
+// and the two tables plus the drill-down share one set of memoized
+// sweeps — the engine simulates each (workload, thread count) exactly
+// once.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,22 +21,32 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	eng := javasim.NewEngine(
+		javasim.WithParallelism(4),
+		javasim.WithObserver(javasim.ObserverFunc(func(ev javasim.Event) {
+			if ev.Kind == javasim.SweepDone {
+				fmt.Fprintf(os.Stderr, "sweep done: %s\n", ev.Workload)
+			}
+		})),
+	)
+
 	// Scale 0.5 halves each workload so the whole study runs in seconds;
-	// pass Scale: 1 for the full-size runs used in EXPERIMENTS.md.
-	suite := javasim.NewSuite(javasim.ExperimentConfig{
+	// pass Scale: 1 for the full-size runs.
+	suite := eng.Suite(javasim.ExperimentConfig{
 		ThreadCounts: []int{4, 8, 16, 32, 48},
 		Scale:        0.5,
 		Seed:         42,
 	})
 
-	classification, err := suite.ClassificationTable()
+	classification, err := suite.ClassificationTable(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	classification.WriteASCII(os.Stdout)
 	fmt.Println()
 
-	factors, err := suite.FactorsTable()
+	factors, err := suite.FactorsTable(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +54,8 @@ func main() {
 	fmt.Println()
 
 	// Drill into one scalable workload: show the paper's headline series.
-	sw, err := suite.SweepFor("xalan")
+	// The sweep is memoized — this re-uses the simulations above.
+	sw, err := suite.SweepFor(ctx, "xalan")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,4 +68,7 @@ func main() {
 			p.Result.MutatorTime, p.Result.GCTime,
 			p.Result.LockContentions, 100*cdf[i])
 	}
+
+	st := eng.Stats()
+	fmt.Printf("\nengine: %d simulations, %d cache hits\n", st.Simulations, st.CacheHits)
 }

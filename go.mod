@@ -1,0 +1,3 @@
+module javasim
+
+go 1.24

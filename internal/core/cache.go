@@ -1,0 +1,145 @@
+package core
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"javasim/internal/vm"
+	"javasim/internal/workload"
+)
+
+// runKey fingerprints one (spec, config) pair for the engine's result
+// cache. The config is canonicalized first, so configurations that only
+// differ in unresolved zero values (Threads 0 vs the default 4, say) map
+// to the same entry. Runs that attach side-effecting sinks — a trace sink
+// or a lock profiler — are not cacheable: replaying a memoized Result
+// would silently skip their event streams.
+func runKey(spec workload.Spec, cfg vm.Config) (string, bool) {
+	if cfg.TraceSink != nil || cfg.LockProfiler != nil {
+		return "", false
+	}
+	canon := cfg.Canonical()
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	if err := enc.Encode(&spec); err != nil {
+		return "", false
+	}
+	if err := enc.Encode(&canon); err != nil {
+		return "", false
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// resultCache is a concurrency-safe LRU of memoized run results keyed by
+// runKey fingerprints. Results are stored by pointer and shared between
+// callers; they are treated as immutable after a run completes.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *vm.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (*vm.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores res under key, evicting the least recently used entry when
+// the cache is full.
+func (c *resultCache) put(key string, res *vm.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// flight tracks one in-progress simulation so concurrent requests for the
+// same fingerprint wait for the leader instead of simulating twice.
+type flight struct {
+	done chan struct{}
+	res  *vm.Result
+	err  error
+}
+
+// flightGroup is a minimal singleflight keyed by runKey fingerprints.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// join returns the flight for key and whether the caller is its leader.
+// The leader must call leave once the work settles.
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	if fl, ok := g.flights[key]; ok {
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.flights[key] = fl
+	return fl, true
+}
+
+// leave publishes the leader's outcome and wakes the waiters.
+func (g *flightGroup) leave(key string, fl *flight, res *vm.Result, err error) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	fl.res, fl.err = res, err
+	close(fl.done)
+}

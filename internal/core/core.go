@@ -12,8 +12,7 @@
 package core
 
 import (
-	"fmt"
-	"sync"
+	"context"
 
 	"javasim/internal/metrics"
 	"javasim/internal/sim"
@@ -53,45 +52,18 @@ type Sweep struct {
 	Points []Point
 }
 
-// RunSweep executes spec at every configured thread count. The points are
-// independent simulations, so they run on parallel goroutines — results
-// are deterministic per (seed, threads) regardless of host scheduling —
-// unless the base config carries shared sinks (trace or lock profiler),
-// in which case the sweep runs sequentially to keep their event streams
-// coherent.
+// RunSweep executes spec at every configured thread count on the shared
+// default engine. Points run concurrently through the engine's bounded
+// worker pool — results are deterministic per (seed, threads) regardless
+// of host scheduling — unless the base config carries shared sinks (trace
+// or lock profiler), in which case the sweep runs sequentially to keep
+// their event streams coherent.
+//
+// Deprecated: construct an Engine and use Engine.Sweep, which adds
+// context cancellation, progress observation, and control over the
+// parallelism bound and cache.
 func RunSweep(spec workload.Spec, cfg SweepConfig) (*Sweep, error) {
-	counts := cfg.threadCounts()
-	results := make([]*vm.Result, len(counts))
-	errs := make([]error, len(counts))
-	runPoint := func(i, n int) {
-		vcfg := cfg.Base
-		vcfg.Threads = n
-		vcfg.Cores = 0 // paper methodology: cores = threads
-		results[i], errs[i] = vm.Run(spec, vcfg)
-	}
-	if cfg.Base.TraceSink != nil || cfg.Base.LockProfiler != nil {
-		for i, n := range counts {
-			runPoint(i, n)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for i, n := range counts {
-			wg.Add(1)
-			go func(i, n int) {
-				defer wg.Done()
-				runPoint(i, n)
-			}(i, n)
-		}
-		wg.Wait()
-	}
-	s := &Sweep{Spec: spec}
-	for i, n := range counts {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("core: sweep %s at %d threads: %w", spec.Name, n, errs[i])
-		}
-		s.Points = append(s.Points, Point{Threads: n, Result: results[i]})
-	}
-	return s, nil
+	return DefaultEngine().Sweep(context.Background(), spec, cfg)
 }
 
 // Curve returns the total-execution-time scaling curve.

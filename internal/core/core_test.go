@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -89,18 +90,18 @@ func TestSuiteCachesSweeps(t *testing.T) {
 		Scale:        0.02,
 		Workloads:    []workload.Spec{workload.XalanSpec()},
 	})
-	a, err := s.SweepFor("xalan")
+	a, err := s.SweepFor(context.Background(), "xalan")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.SweepFor("xalan")
+	b, err := s.SweepFor(context.Background(), "xalan")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Error("sweep not cached")
 	}
-	if _, err := s.SweepFor("nope"); err == nil {
+	if _, err := s.SweepFor(context.Background(), "nope"); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
@@ -128,7 +129,7 @@ func smallSuite(counts ...int) *Suite {
 }
 
 func TestFig1aTable(t *testing.T) {
-	tb, err := smallSuite().Fig1a()
+	tb, err := smallSuite().Fig1a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFig1aTable(t *testing.T) {
 }
 
 func TestFig1bTable(t *testing.T) {
-	tb, err := smallSuite().Fig1b()
+	tb, err := smallSuite().Fig1b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,14 +159,14 @@ func TestFig1bTable(t *testing.T) {
 
 func TestFig1cdTables(t *testing.T) {
 	s := smallSuite()
-	c, err := s.Fig1c()
+	c, err := s.Fig1c(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(c.Title, "eclipse") {
 		t.Error("Fig1c is not eclipse")
 	}
-	d, err := s.Fig1d()
+	d, err := s.Fig1d(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,14 +179,14 @@ func TestFig1cdTables(t *testing.T) {
 }
 
 func TestLifespanCDFUnknownThreads(t *testing.T) {
-	if _, err := smallSuite().LifespanCDF("xalan", 3, 999); err == nil {
+	if _, err := smallSuite().LifespanCDF(context.Background(), "xalan", 3, 999); err == nil {
 		t.Error("bogus thread counts accepted")
 	}
 }
 
 func TestFig2Table(t *testing.T) {
 	s := smallSuite()
-	tb, err := s.Fig2()
+	tb, err := s.Fig2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestFig2Table(t *testing.T) {
 }
 
 func TestClassificationTable(t *testing.T) {
-	tb, err := smallSuite(2, 8, 16).ClassificationTable()
+	tb, err := smallSuite(2, 8, 16).ClassificationTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestClassificationTable(t *testing.T) {
 }
 
 func TestWorkDistributionTable(t *testing.T) {
-	tb, err := smallSuite(2, 8, 16).WorkDistributionTable()
+	tb, err := smallSuite(2, 8, 16).WorkDistributionTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestWorkDistributionTable(t *testing.T) {
 }
 
 func TestFactorsTable(t *testing.T) {
-	tb, err := smallSuite().FactorsTable()
+	tb, err := smallSuite().FactorsTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,14 +232,14 @@ func TestFactorsTable(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	s := smallSuite(2, 8)
-	bias, err := s.AblationBias()
+	bias, err := s.AblationBias(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(bias.Rows) == 0 || !strings.Contains(bias.Title, "xalan") {
 		t.Error("bias ablation malformed")
 	}
-	comp, err := s.AblationCompartments()
+	comp, err := s.AblationCompartments(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestAllArtifacts(t *testing.T) {
-	tables, err := smallSuite().AllArtifacts()
+	tables, err := smallSuite().AllArtifacts(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestPaperShapes(t *testing.T) {
 
 	// E6: classification matches the paper for all six benchmarks.
 	for _, w := range workload.All() {
-		sw, err := s.SweepFor(w.Name)
+		sw, err := s.SweepFor(context.Background(), w.Name)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,7 +295,7 @@ func TestPaperShapes(t *testing.T) {
 	// E1/E2: lock acquisitions and contentions grow for scalable apps,
 	// stay near-flat for non-scalable ones.
 	for _, name := range scalable {
-		sw, _ := s.SweepFor(name)
+		sw, _ := s.SweepFor(context.Background(), name)
 		if g := metrics.GrowthFactor(sw.Acquisitions()); g < 1.15 {
 			t.Errorf("E1 %s: acquisition growth %.2fx, want >= 1.15x", name, g)
 		}
@@ -303,7 +304,7 @@ func TestPaperShapes(t *testing.T) {
 		}
 	}
 	for _, name := range nonScalable {
-		sw, _ := s.SweepFor(name)
+		sw, _ := s.SweepFor(context.Background(), name)
 		if g := metrics.GrowthFactor(sw.Acquisitions()); g > 1.3 {
 			t.Errorf("E1 %s: acquisition growth %.2fx, want flat (<1.3x)", name, g)
 		}
@@ -313,14 +314,14 @@ func TestPaperShapes(t *testing.T) {
 	}
 
 	// E3: eclipse's lifetime CDF at 1KB moves < 5 points.
-	ec, _ := s.SweepFor("eclipse")
+	ec, _ := s.SweepFor(context.Background(), "eclipse")
 	ecCDF := ec.CDFBelow(1024)
 	if d := ecCDF[0] - ecCDF[len(ecCDF)-1]; d > 0.05 || d < -0.05 {
 		t.Errorf("E3 eclipse: CDF@1KB shifted %.1f points, want |shift| < 5", 100*d)
 	}
 
 	// E4: xalan's CDF@1KB declines by >= 10 points over the sweep.
-	xa, _ := s.SweepFor("xalan")
+	xa, _ := s.SweepFor(context.Background(), "xalan")
 	xaCDF := xa.CDFBelow(1024)
 	if d := xaCDF[0] - xaCDF[len(xaCDF)-1]; d < 0.10 {
 		t.Errorf("E4 xalan: CDF@1KB declined only %.1f points (%.2f -> %.2f), want >= 10",
@@ -333,7 +334,7 @@ func TestPaperShapes(t *testing.T) {
 	// E5: for the scalable trio, mutator time decreases monotonically and
 	// GC time grows.
 	for _, name := range scalable {
-		sw, _ := s.SweepFor(name)
+		sw, _ := s.SweepFor(context.Background(), name)
 		if !metrics.MonotoneDecreasing(sw.MutatorSeconds(), 0.02) {
 			t.Errorf("E5 %s: mutator time not decreasing: %v", name, sw.MutatorSeconds())
 		}
@@ -350,13 +351,13 @@ func TestPaperShapes(t *testing.T) {
 
 	// E7: work distribution — non-scalable apps concentrate work.
 	for _, name := range nonScalable {
-		sw, _ := s.SweepFor(name)
+		sw, _ := s.SweepFor(context.Background(), name)
 		if f := sw.ComputeFactors(); f.Top4Share < 0.7 {
 			t.Errorf("E7 %s: top-4 share %.2f, want >= 0.7", name, f.Top4Share)
 		}
 	}
 	for _, name := range scalable {
-		sw, _ := s.SweepFor(name)
+		sw, _ := s.SweepFor(context.Background(), name)
 		last := sw.Points[len(sw.Points)-1].Result
 		shares := make([]float64, len(last.PerThreadUnits))
 		for i, u := range last.PerThreadUnits {

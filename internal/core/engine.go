@@ -1,0 +1,300 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"javasim/internal/vm"
+	"javasim/internal/workload"
+)
+
+// Engine is the long-lived entry point of the framework: it owns a
+// bounded worker pool and a concurrency-safe memoizing result cache, and
+// every run, sweep, and suite dispatched through it shares both. Many
+// goroutines may call an Engine concurrently — concurrent figure
+// generation, batch studies, servers sweeping on behalf of request
+// handlers — and the engine guarantees that at most Parallelism
+// simulations execute at once, that identical in-flight requests are
+// deduplicated, and that completed results are memoized.
+//
+// Construct engines with NewEngine and functional options; the zero
+// Engine is not usable.
+type Engine struct {
+	parallelism int
+	seed        uint64
+	cacheSize   int
+	observers   []Observer
+
+	sem     chan struct{} // worker-slot semaphore, capacity = parallelism
+	cache   *resultCache
+	flights flightGroup
+
+	simulations atomic.Int64
+	cacheHits   atomic.Int64
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithParallelism bounds the number of simulations the engine executes
+// concurrently. Values below 1 are clamped to 1; the default is
+// runtime.GOMAXPROCS(0). Sweeps and suites never spawn more simulation
+// goroutines than this bound.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithSeed sets the seed substituted into runs whose Config.Seed is zero.
+// The default is 0, which leaves configs untouched.
+func WithSeed(seed uint64) Option {
+	return func(e *Engine) { e.seed = seed }
+}
+
+// WithObserver registers an observer for the engine's progress events.
+// Several observers may be registered; each receives every event.
+func WithObserver(o Observer) Option {
+	return func(e *Engine) {
+		if o != nil {
+			e.observers = append(e.observers, o)
+		}
+	}
+}
+
+// WithCache sizes the memoizing result cache (entries, not bytes). A size
+// of zero or below disables memoization entirely. The default is 256
+// entries — comfortably a full six-workload sweep of the paper's
+// methodology plus every study configuration.
+func WithCache(entries int) Option {
+	return func(e *Engine) { e.cacheSize = entries }
+}
+
+// DefaultCacheEntries is the result-cache capacity used when WithCache is
+// not given.
+const DefaultCacheEntries = 256
+
+// NewEngine builds an engine from the options.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		parallelism: runtime.GOMAXPROCS(0),
+		cacheSize:   DefaultCacheEntries,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.parallelism < 1 {
+		e.parallelism = 1
+	}
+	e.sem = make(chan struct{}, e.parallelism)
+	e.cache = newResultCache(e.cacheSize)
+	return e
+}
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the shared process-wide engine that the
+// deprecated free functions (Run, RunSweep, NewSuite) delegate to.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = NewEngine() })
+	return defaultEngine
+}
+
+// Parallelism reports the engine's simulation concurrency bound.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// Stats is a snapshot of the engine's lifetime counters.
+type Stats struct {
+	// Simulations counts runs actually executed by the VM.
+	Simulations int64
+	// CacheHits counts run requests answered from the memoizing cache
+	// (including singleflight waiters that shared a leader's simulation).
+	CacheHits int64
+	// CachedResults is the number of results currently memoized.
+	CachedResults int
+}
+
+// Stats returns the engine's lifetime counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Simulations:   e.simulations.Load(),
+		CacheHits:     e.cacheHits.Load(),
+		CachedResults: e.cache.len(),
+	}
+}
+
+// emit delivers ev to every observer, in registration order.
+func (e *Engine) emit(ev Event) {
+	for _, o := range e.observers {
+		o.Observe(ev)
+	}
+}
+
+// Run executes one benchmark configuration, answering from the memoizing
+// cache when an identical run (same spec, same canonicalized config) has
+// already completed, and deduplicating identical runs that are in flight
+// concurrently. Cache hits return the same *vm.Result pointer; results
+// must be treated as immutable. Runs carrying a TraceSink or LockProfiler
+// bypass the cache, since their value is the side-effecting event stream.
+//
+// Run blocks until a worker slot is free (at most Parallelism simulations
+// execute concurrently, across all of the engine's callers) or ctx is
+// done. A canceled context aborts the simulation at the simulator's next
+// event-loop checkpoint and returns an error wrapping ctx.Err().
+func (e *Engine) Run(ctx context.Context, spec workload.Spec, cfg vm.Config) (*vm.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = e.seed
+	}
+	key, cacheable := runKey(spec, cfg)
+	if !cacheable {
+		return e.simulate(ctx, spec, cfg)
+	}
+	hit := func(res *vm.Result) *vm.Result {
+		e.cacheHits.Add(1)
+		e.emit(Event{Kind: RunCached, Workload: spec.Name, Threads: cfg.Canonical().Threads, Seed: cfg.Seed})
+		return res
+	}
+	for {
+		if res, ok := e.cache.get(key); ok {
+			return hit(res), nil
+		}
+		fl, leader := e.flights.join(key)
+		if leader {
+			// Re-check under the flight: a previous leader may have
+			// finished (and populated the cache) between our miss and our
+			// join, and re-simulating a cached run would waste a slot.
+			if res, ok := e.cache.get(key); ok {
+				e.flights.leave(key, fl, res, nil)
+				return hit(res), nil
+			}
+			res, err := e.simulate(ctx, spec, cfg)
+			if err == nil {
+				e.cache.put(key, res)
+			}
+			e.flights.leave(key, fl, res, err)
+			return res, err
+		}
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if fl.err == nil {
+			return hit(fl.res), nil
+		}
+		// The leader failed. If its failure was its own context dying, our
+		// context may still be live — retry (we will likely become the new
+		// leader). Any other failure is deterministic and shared.
+		if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+			continue
+		}
+		return nil, fl.err
+	}
+}
+
+// simulate acquires a worker slot and runs the VM.
+func (e *Engine) simulate(ctx context.Context, spec workload.Spec, cfg vm.Config) (*vm.Result, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	threads := cfg.Canonical().Threads
+	e.emit(Event{Kind: RunStarted, Workload: spec.Name, Threads: threads, Seed: cfg.Seed})
+	e.simulations.Add(1)
+	res, err := vm.RunContext(ctx, spec, cfg)
+	fin := Event{Kind: RunFinished, Workload: spec.Name, Threads: threads, Seed: cfg.Seed, Err: err}
+	if res != nil {
+		fin.VirtualTime = res.TotalTime
+	}
+	e.emit(fin)
+	return res, err
+}
+
+// Sweep measures spec across the configured thread counts through the
+// engine's worker pool: points run concurrently, but never on more
+// goroutines than the engine's parallelism bound, and each point is
+// memoized individually. A base config carrying a TraceSink or
+// LockProfiler forces the sweep sequential so the sinks observe one
+// coherent event stream per point.
+//
+// Sweep returns ctx.Err() as soon as the context dies; already-completed
+// points stay memoized for a later retry.
+func (e *Engine) Sweep(ctx context.Context, spec workload.Spec, cfg SweepConfig) (*Sweep, error) {
+	counts := cfg.threadCounts()
+	results := make([]*vm.Result, len(counts))
+	errs := make([]error, len(counts))
+	runPoint := func(i int) {
+		vcfg := cfg.Base
+		vcfg.Threads = counts[i]
+		vcfg.Cores = 0 // paper methodology: cores = threads
+		results[i], errs[i] = e.Run(ctx, spec, vcfg)
+		if errs[i] == nil {
+			e.emit(Event{Kind: SweepPointDone, Workload: spec.Name, Threads: counts[i], Seed: vcfg.Seed})
+		}
+	}
+	if cfg.Base.TraceSink != nil || cfg.Base.LockProfiler != nil {
+		for i := range counts {
+			if ctx.Err() != nil {
+				break
+			}
+			runPoint(i)
+		}
+	} else {
+		workers := min(e.parallelism, len(counts))
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runPoint(i)
+				}
+			}()
+		}
+		for i := range counts {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep %s at %d threads: %w", spec.Name, counts[i], err)
+		}
+	}
+	s := &Sweep{Spec: spec}
+	for i, n := range counts {
+		s.Points = append(s.Points, Point{Threads: n, Result: results[i]})
+	}
+	e.emit(Event{Kind: SweepDone, Workload: spec.Name, Seed: cfg.Base.Seed})
+	return s, nil
+}
+
+// Suite builds an experiment suite bound to this engine: its sweeps run
+// through the engine's worker pool, its repeated figure/study requests
+// share the engine's memoizing cache, and its progress streams to the
+// engine's observers.
+func (e *Engine) Suite(cfg ExperimentConfig) *Suite {
+	return &Suite{
+		cfg:    cfg.withDefaults(),
+		eng:    e,
+		sweeps: make(map[string]*sweepCell),
+	}
+}

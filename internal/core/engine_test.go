@@ -1,0 +1,378 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"javasim/internal/lockprof"
+	"javasim/internal/trace"
+	"javasim/internal/vm"
+	"javasim/internal/workload"
+)
+
+func testSpec(t testing.TB, name string, scale float64) workload.Spec {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	return spec.Scale(scale)
+}
+
+// countingObserver tallies events and tracks the maximum number of
+// simulations in flight at once. Safe for concurrent use.
+type countingObserver struct {
+	mu       sync.Mutex
+	counts   map[EventKind]int
+	inFlight int
+	maxSeen  int
+}
+
+func newCountingObserver() *countingObserver {
+	return &countingObserver{counts: map[EventKind]int{}}
+}
+
+func (o *countingObserver) Observe(ev Event) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.counts[ev.Kind]++
+	switch ev.Kind {
+	case RunStarted:
+		o.inFlight++
+		if o.inFlight > o.maxSeen {
+			o.maxSeen = o.inFlight
+		}
+	case RunFinished:
+		o.inFlight--
+	}
+}
+
+func (o *countingObserver) count(k EventKind) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.counts[k]
+}
+
+func (o *countingObserver) maxInFlight() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.maxSeen
+}
+
+func TestEngineRunMemoizes(t *testing.T) {
+	obs := newCountingObserver()
+	e := NewEngine(WithObserver(obs))
+	spec := testSpec(t, "xalan", 0.02)
+	cfg := vm.Config{Threads: 4, Seed: 7}
+
+	a, err := e.Run(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second identical run did not return the memoized *Result")
+	}
+	if got := obs.count(RunStarted); got != 1 {
+		t.Errorf("simulations = %d, want 1", got)
+	}
+	if got := obs.count(RunCached); got != 1 {
+		t.Errorf("cache-hit events = %d, want 1", got)
+	}
+	st := e.Stats()
+	if st.Simulations != 1 || st.CacheHits != 1 || st.CachedResults != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineRunCanonicalizesConfigKeys(t *testing.T) {
+	e := NewEngine()
+	spec := testSpec(t, "jython", 0.02)
+	// Threads 0 defaults to 4; both configs describe the same run and must
+	// share one cache entry.
+	a, err := e.Run(context.Background(), spec, vm.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(context.Background(), spec, vm.Config{Threads: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("zero-value and explicit-default configs did not share a cache entry")
+	}
+}
+
+func TestEngineSinkRunsBypassCache(t *testing.T) {
+	spec := testSpec(t, "h2", 0.02)
+	if _, ok := runKey(spec, vm.Config{Threads: 2, Seed: 7}); !ok {
+		t.Fatal("plain config should be cacheable")
+	}
+	if _, ok := runKey(spec, vm.Config{Threads: 2, Seed: 7, LockProfiler: lockprof.New()}); ok {
+		t.Error("profiler-carrying config must not be cacheable")
+	}
+	if _, ok := runKey(spec, vm.Config{Threads: 2, Seed: 7, TraceSink: &trace.MemorySink{}}); ok {
+		t.Error("trace-carrying config must not be cacheable")
+	}
+}
+
+func TestEngineSingleflightDeduplicates(t *testing.T) {
+	obs := newCountingObserver()
+	e := NewEngine(WithParallelism(4), WithObserver(obs))
+	spec := testSpec(t, "xalan", 0.02)
+	cfg := vm.Config{Threads: 4, Seed: 9}
+
+	const callers = 8
+	results := make([]*vm.Result, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Run(context.Background(), spec, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if got := obs.count(RunStarted); got != 1 {
+		t.Errorf("concurrent identical requests ran %d simulations, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d received a different *Result", i)
+		}
+	}
+}
+
+func TestEngineSweepBoundsParallelism(t *testing.T) {
+	obs := newCountingObserver()
+	e := NewEngine(WithParallelism(2), WithObserver(obs))
+	spec := testSpec(t, "sunflow", 0.02)
+	sw, err := e.Sweep(context.Background(), spec, SweepConfig{
+		ThreadCounts: []int{2, 3, 4, 6, 8, 12},
+		Base:         vm.Config{Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(sw.Points))
+	}
+	if got := obs.maxInFlight(); got > 2 {
+		t.Errorf("max concurrent simulations = %d, want <= 2", got)
+	}
+	if got := obs.count(SweepPointDone); got != 6 {
+		t.Errorf("sweep-point events = %d, want 6", got)
+	}
+	if got := obs.count(SweepDone); got != 1 {
+		t.Errorf("sweep-done events = %d, want 1", got)
+	}
+}
+
+func TestEngineParallelMatchesSequential(t *testing.T) {
+	spec := testSpec(t, "lusearch", 0.03)
+	counts := []int{2, 4, 8}
+	seq, err := NewEngine(WithParallelism(1)).Sweep(context.Background(), spec,
+		SweepConfig{ThreadCounts: counts, Base: vm.Config{Seed: 21}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewEngine(WithParallelism(8)).Sweep(context.Background(), spec,
+		SweepConfig{ThreadCounts: counts, Base: vm.Config{Seed: 21}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if !reflect.DeepEqual(seq.Points[i].Result, par.Points[i].Result) {
+			t.Errorf("point t=%d differs between sequential and parallel engines", counts[i])
+		}
+	}
+}
+
+func TestEngineSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel as soon as the first simulation starts: the remaining points
+	// must abort mid-run instead of draining the whole sweep.
+	e := NewEngine(WithParallelism(1), WithObserver(ObserverFunc(func(ev Event) {
+		if ev.Kind == RunStarted {
+			cancel()
+		}
+	})))
+	spec := testSpec(t, "xalan", 0.3)
+	_, err := e.Sweep(ctx, spec, SweepConfig{
+		ThreadCounts: []int{4, 8, 16, 32, 48},
+		Base:         vm.Config{Seed: 3},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep error = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineRunPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := NewEngine()
+	_, err := e.Run(ctx, testSpec(t, "xalan", 0.02), vm.Config{Threads: 2, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := e.Stats(); st.Simulations != 0 {
+		t.Errorf("pre-canceled run still simulated: %+v", st)
+	}
+}
+
+func TestEngineWithSeedDefault(t *testing.T) {
+	e := NewEngine(WithSeed(77))
+	spec := testSpec(t, "jython", 0.02)
+	a, err := e.Run(context.Background(), spec, vm.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(context.Background(), spec, vm.Config{Threads: 2, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("WithSeed default did not map to the explicit-seed cache entry")
+	}
+}
+
+func TestSuiteSweepsArePointerEqual(t *testing.T) {
+	obs := newCountingObserver()
+	e := NewEngine(WithObserver(obs))
+	s := e.Suite(ExperimentConfig{ThreadCounts: []int{2, 4}, Scale: 0.02})
+	ctx := context.Background()
+
+	a, err := s.SweepFor(ctx, "xalan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simsAfterFirst := obs.count(RunStarted)
+	b, err := s.SweepFor(ctx, "xalan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated SweepFor did not return the identical *Sweep")
+	}
+	if got := obs.count(RunStarted); got != simsAfterFirst {
+		t.Errorf("repeated SweepFor simulated again: %d -> %d", simsAfterFirst, got)
+	}
+}
+
+func TestSuiteRepeatedFiguresHitCache(t *testing.T) {
+	obs := newCountingObserver()
+	e := NewEngine(WithObserver(obs))
+	s := e.Suite(ExperimentConfig{ThreadCounts: []int{2, 4}, Scale: 0.02})
+	ctx := context.Background()
+
+	if _, err := s.Fig1a(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sims := obs.count(RunStarted)
+	if sims == 0 {
+		t.Fatal("first figure simulated nothing")
+	}
+	// Fig1b and Fig2 draw on the same sweeps; a second Fig1a is free too.
+	if _, err := s.Fig1b(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fig2(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fig1a(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.count(RunStarted); got != sims {
+		t.Errorf("repeated figures re-simulated: %d -> %d", sims, got)
+	}
+	if got := obs.count(ArtifactRendered); got != 4 {
+		t.Errorf("artifact events = %d, want 4", got)
+	}
+}
+
+func TestSuiteConcurrentFigureGeneration(t *testing.T) {
+	obs := newCountingObserver()
+	e := NewEngine(WithParallelism(4), WithObserver(obs))
+	s := e.Suite(ExperimentConfig{ThreadCounts: []int{2, 4}, Scale: 0.02})
+	ctx := context.Background()
+
+	gens := []func(context.Context) (any, error){
+		func(ctx context.Context) (any, error) { return s.Fig1a(ctx) },
+		func(ctx context.Context) (any, error) { return s.Fig1b(ctx) },
+		func(ctx context.Context) (any, error) { return s.Fig1c(ctx) },
+		func(ctx context.Context) (any, error) { return s.Fig1d(ctx) },
+		func(ctx context.Context) (any, error) { return s.Fig2(ctx) },
+		func(ctx context.Context) (any, error) { return s.ClassificationTable(ctx) },
+		func(ctx context.Context) (any, error) { return s.FactorsTable(ctx) },
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(gens))
+	for _, g := range gens {
+		go func(g func(context.Context) (any, error)) {
+			defer wg.Done()
+			if _, err := g(ctx); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Six workloads x two thread counts: every figure shares the same 12
+	// simulations no matter how many generators raced.
+	if got := obs.count(RunStarted); got != 12 {
+		t.Errorf("concurrent figure generation ran %d simulations, want 12", got)
+	}
+}
+
+func TestResultCacheLRUEvicts(t *testing.T) {
+	c := newResultCache(2)
+	r1, r2, r3 := &vm.Result{Threads: 1}, &vm.Result{Threads: 2}, &vm.Result{Threads: 3}
+	c.put("a", r1)
+	c.put("b", r2)
+	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", r3)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if got, _ := c.get("a"); got != r1 {
+		t.Error("a evicted or wrong")
+	}
+	if got, _ := c.get("c"); got != r3 {
+		t.Error("c missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestDisabledCacheStillRuns(t *testing.T) {
+	obs := newCountingObserver()
+	e := NewEngine(WithCache(0), WithObserver(obs))
+	spec := testSpec(t, "jython", 0.02)
+	cfg := vm.Config{Threads: 2, Seed: 3}
+	if _, err := e.Run(context.Background(), spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background(), spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.count(RunStarted); got != 2 {
+		t.Errorf("uncached engine simulated %d times, want 2", got)
+	}
+	if st := e.Stats(); st.CachedResults != 0 {
+		t.Errorf("disabled cache holds %d results", st.CachedResults)
+	}
+}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"javasim/internal/gc"
 	"javasim/internal/report"
@@ -42,25 +45,85 @@ func (c ExperimentConfig) withDefaults() ExperimentConfig {
 
 // Suite lazily runs and caches the per-workload sweeps behind every
 // figure and table, so regenerating all artifacts costs one sweep per
-// workload.
+// workload. The sweep cache is concurrency-safe: any number of
+// goroutines may generate figures, studies, and ablations on one suite
+// at once, and a sweep two of them need simulates exactly once — the
+// second caller waits for the first and receives the identical *Sweep
+// pointer. Construct suites through Engine.Suite (or the deprecated
+// NewSuite, which binds to the shared default engine).
 type Suite struct {
-	cfg    ExperimentConfig
-	sweeps map[string]*Sweep
+	cfg ExperimentConfig
+	eng *Engine
+
+	mu     sync.Mutex
+	sweeps map[string]*sweepCell
 }
 
-// NewSuite builds a suite for the configuration.
+// sweepCell memoizes one workload's sweep, singleflight-style: the first
+// requester becomes the leader and runs the sweep; later requesters wait
+// on done. Failed sweeps are evicted so a live context can retry after a
+// canceled one.
+type sweepCell struct {
+	done chan struct{}
+	sw   *Sweep
+	err  error
+}
+
+// NewSuite builds a suite on the shared default engine.
+//
+// Deprecated: construct an Engine and use Engine.Suite for control over
+// parallelism, caching, and progress observation.
 func NewSuite(cfg ExperimentConfig) *Suite {
-	return &Suite{cfg: cfg.withDefaults(), sweeps: map[string]*Sweep{}}
+	return DefaultEngine().Suite(cfg)
 }
 
 // Config returns the defaulted configuration.
 func (s *Suite) Config() ExperimentConfig { return s.cfg }
 
-// SweepFor returns the (cached) sweep of the named workload.
-func (s *Suite) SweepFor(name string) (*Sweep, error) {
-	if sw, ok := s.sweeps[name]; ok {
-		return sw, nil
+// Engine returns the engine the suite dispatches through.
+func (s *Suite) Engine() *Engine { return s.eng }
+
+// SweepFor returns the memoized sweep of the named workload, simulating
+// it (through the engine's bounded pool) at most once per suite no matter
+// how many figures, studies, or concurrent callers ask for it. Repeated
+// calls return the identical *Sweep pointer.
+func (s *Suite) SweepFor(ctx context.Context, name string) (*Sweep, error) {
+	s.mu.Lock()
+	cell, ok := s.sweeps[name]
+	if !ok {
+		cell = &sweepCell{done: make(chan struct{})}
+		s.sweeps[name] = cell
 	}
+	s.mu.Unlock()
+	if ok {
+		select {
+		case <-cell.done:
+			if cell.err != nil && ctx.Err() == nil &&
+				(errors.Is(cell.err, context.Canceled) || errors.Is(cell.err, context.DeadlineExceeded)) {
+				// The leader's context died but ours is live; the cell was
+				// evicted, so retry and likely become the new leader.
+				return s.SweepFor(ctx, name)
+			}
+			return cell.sw, cell.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	cell.sw, cell.err = s.runSweep(ctx, name)
+	if cell.err != nil {
+		// Do not poison the cache: a canceled or failed sweep must be
+		// retryable by the next caller.
+		s.mu.Lock()
+		delete(s.sweeps, name)
+		s.mu.Unlock()
+	}
+	close(cell.done)
+	return cell.sw, cell.err
+}
+
+// runSweep executes the suite's sweep for one workload.
+func (s *Suite) runSweep(ctx context.Context, name string) (*Sweep, error) {
 	var spec workload.Spec
 	found := false
 	for _, w := range s.cfg.Workloads {
@@ -72,15 +135,19 @@ func (s *Suite) SweepFor(name string) (*Sweep, error) {
 	if !found {
 		return nil, fmt.Errorf("core: workload %q not in suite", name)
 	}
-	sw, err := RunSweep(spec.Scale(s.cfg.Scale), SweepConfig{
+	return s.eng.Sweep(ctx, spec.Scale(s.cfg.Scale), SweepConfig{
 		ThreadCounts: s.cfg.ThreadCounts,
 		Base:         vm.Config{Seed: s.cfg.Seed},
 	})
-	if err != nil {
-		return nil, err
+}
+
+// artifact emits the rendered-artifact event on success and passes the
+// generator's result through.
+func (s *Suite) artifact(name string, t *report.Table, err error) (*report.Table, error) {
+	if err == nil {
+		s.eng.emit(Event{Kind: ArtifactRendered, Artifact: name})
 	}
-	s.sweeps[name] = sw
-	return sw, nil
+	return t, err
 }
 
 func (s *Suite) threadHeaders(key string) []string {
@@ -92,10 +159,10 @@ func (s *Suite) threadHeaders(key string) []string {
 }
 
 // seriesTable renders one number per (workload, thread count).
-func (s *Suite) seriesTable(title, key string, f func(*Sweep) []float64, format func(float64) string) (*report.Table, error) {
+func (s *Suite) seriesTable(ctx context.Context, title, key string, f func(*Sweep) []float64, format func(float64) string) (*report.Table, error) {
 	t := &report.Table{Title: title, Headers: s.threadHeaders(key)}
 	for _, w := range s.cfg.Workloads {
-		sw, err := s.SweepFor(w.Name)
+		sw, err := s.SweepFor(ctx, w.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -110,8 +177,8 @@ func (s *Suite) seriesTable(title, key string, f func(*Sweep) []float64, format 
 
 // Fig1a reproduces Figure 1a: total lock acquisitions per run versus
 // thread count, for all six benchmarks.
-func (s *Suite) Fig1a() (*report.Table, error) {
-	t, err := s.seriesTable(
+func (s *Suite) Fig1a(ctx context.Context) (*report.Table, error) {
+	t, err := s.seriesTable(ctx,
 		"Figure 1a — lock acquisitions vs threads",
 		"workload",
 		func(sw *Sweep) []float64 { return sw.Acquisitions() },
@@ -121,12 +188,12 @@ func (s *Suite) Fig1a() (*report.Table, error) {
 		return nil, err
 	}
 	t.Note = "paper: acquisitions grow with threads for scalable apps, flat for non-scalable"
-	return t, nil
+	return s.artifact("Fig1a", t, nil)
 }
 
 // Fig1b reproduces Figure 1b: lock contention instances versus threads.
-func (s *Suite) Fig1b() (*report.Table, error) {
-	t, err := s.seriesTable(
+func (s *Suite) Fig1b(ctx context.Context) (*report.Table, error) {
+	t, err := s.seriesTable(ctx,
 		"Figure 1b — lock contentions vs threads",
 		"workload",
 		func(sw *Sweep) []float64 { return sw.Contentions() },
@@ -136,7 +203,7 @@ func (s *Suite) Fig1b() (*report.Table, error) {
 		return nil, err
 	}
 	t.Note = "paper: contentions grow with threads for scalable apps, flat for non-scalable"
-	return t, nil
+	return s.artifact("Fig1b", t, nil)
 }
 
 // cdfLimits are the lifespan bucket boundaries (bytes) used for the
@@ -145,8 +212,8 @@ var cdfLimits = []int64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 
 
 // LifespanCDF reproduces a Figure 1c/1d panel: the cumulative lifespan
 // distribution of one workload at two thread counts.
-func (s *Suite) LifespanCDF(name string, lowThreads, highThreads int) (*report.Table, error) {
-	sw, err := s.SweepFor(name)
+func (s *Suite) LifespanCDF(ctx context.Context, name string, lowThreads, highThreads int) (*report.Table, error) {
+	sw, err := s.SweepFor(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -179,28 +246,28 @@ func (s *Suite) LifespanCDF(name string, lowThreads, highThreads int) (*report.T
 
 // Fig1c reproduces Figure 1c: eclipse's lifetime CDF at 4 vs 48 threads
 // (insensitive to thread count — non-scalable).
-func (s *Suite) Fig1c() (*report.Table, error) {
+func (s *Suite) Fig1c(ctx context.Context) (*report.Table, error) {
 	lo, hi := s.loHi()
-	t, err := s.LifespanCDF("eclipse", lo, hi)
+	t, err := s.LifespanCDF(ctx, "eclipse", lo, hi)
 	if err != nil {
 		return nil, err
 	}
 	t.Title = "Figure 1c — " + t.Title
 	t.Note = "paper: eclipse's distribution shows almost no change with thread count"
-	return t, nil
+	return s.artifact("Fig1c", t, nil)
 }
 
 // Fig1d reproduces Figure 1d: xalan's lifetime CDF at 4 vs 48 threads
 // (lifespans stretch as threads scale — the paper's headline GC finding).
-func (s *Suite) Fig1d() (*report.Table, error) {
+func (s *Suite) Fig1d(ctx context.Context) (*report.Table, error) {
 	lo, hi := s.loHi()
-	t, err := s.LifespanCDF("xalan", lo, hi)
+	t, err := s.LifespanCDF(ctx, "xalan", lo, hi)
 	if err != nil {
 		return nil, err
 	}
 	t.Title = "Figure 1d — " + t.Title
 	t.Note = "paper: xalan drops from >80% of objects <1KB at 4 threads to ~50% at 48"
-	return t, nil
+	return s.artifact("Fig1d", t, nil)
 }
 
 func (s *Suite) loHi() (int, int) {
@@ -210,7 +277,7 @@ func (s *Suite) loHi() (int, int) {
 
 // Fig2 reproduces Figure 2: the mutator/GC time split of the scalable
 // trio across the thread sweep.
-func (s *Suite) Fig2() (*report.Table, error) {
+func (s *Suite) Fig2(ctx context.Context) (*report.Table, error) {
 	t := &report.Table{
 		Title:   "Figure 2 — distribution of mutator and GC times (scalable applications)",
 		Headers: []string{"workload", "threads", "mutator", "gc", "gc-share", "minor", "full"},
@@ -220,7 +287,7 @@ func (s *Suite) Fig2() (*report.Table, error) {
 		if !s.hasWorkload(name) {
 			continue
 		}
-		sw, err := s.SweepFor(name)
+		sw, err := s.SweepFor(ctx, name)
 		if err != nil {
 			return nil, err
 		}
@@ -233,19 +300,19 @@ func (s *Suite) Fig2() (*report.Table, error) {
 				fmt.Sprintf("%d", r.GCStats.FullCount))
 		}
 	}
-	return t, nil
+	return s.artifact("Fig2", t, nil)
 }
 
 // Fig2Chart renders Figure 2 as an ASCII chart: per scalable workload,
 // the mutator and GC time series against the thread sweep — the quickest
 // way to eyeball the crossing shapes in a terminal.
-func (s *Suite) Fig2Chart() ([]*report.Chart, error) {
+func (s *Suite) Fig2Chart(ctx context.Context) ([]*report.Chart, error) {
 	var out []*report.Chart
 	for _, name := range []string{"sunflow", "lusearch", "xalan"} {
 		if !s.hasWorkload(name) {
 			continue
 		}
-		sw, err := s.SweepFor(name)
+		sw, err := s.SweepFor(ctx, name)
 		if err != nil {
 			return nil, err
 		}
@@ -286,13 +353,13 @@ func (s *Suite) hasWorkload(name string) bool {
 
 // ClassificationTable reproduces the §II-C characterization: which
 // applications are scalable, with speedups and the paper agreement check.
-func (s *Suite) ClassificationTable() (*report.Table, error) {
+func (s *Suite) ClassificationTable(ctx context.Context) (*report.Table, error) {
 	t := &report.Table{
 		Title:   "Table — scalability classification (paper §II-C)",
 		Headers: []string{"workload", "max-speedup", "at-threads", "final-eff", "verdict", "paper", "match"},
 	}
 	for _, w := range s.cfg.Workloads {
-		sw, err := s.SweepFor(w.Name)
+		sw, err := s.SweepFor(ctx, w.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -305,19 +372,19 @@ func (s *Suite) ClassificationTable() (*report.Table, error) {
 			verdict[c.Scalable], verdict[c.PaperScalable],
 			map[bool]string{true: "yes", false: "NO"}[c.Matches()])
 	}
-	return t, nil
+	return s.artifact("ClassificationTable", t, nil)
 }
 
 // WorkDistributionTable reproduces the §III workload-distribution
 // observation: non-scalable applications concentrate work in 3-4 threads.
-func (s *Suite) WorkDistributionTable() (*report.Table, error) {
+func (s *Suite) WorkDistributionTable(ctx context.Context) (*report.Table, error) {
 	t := &report.Table{
 		Title:   "Table — per-thread work distribution at the largest thread count",
 		Headers: []string{"workload", "threads", "busy-threads", "top4-share", "max/mean"},
 		Note:    "paper §III: jython uses 3-4 threads for most work; xalan/lusearch/sunflow are near-uniform",
 	}
 	for _, w := range s.cfg.Workloads {
-		sw, err := s.SweepFor(w.Name)
+		sw, err := s.SweepFor(ctx, w.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -335,7 +402,7 @@ func (s *Suite) WorkDistributionTable() (*report.Table, error) {
 			report.FormatPct(f.Top4Share),
 			fmt.Sprintf("%.2f", imbalance(shares)))
 	}
-	return t, nil
+	return s.artifact("WorkDistributionTable", t, nil)
 }
 
 func imbalance(shares []float64) float64 {
@@ -354,14 +421,14 @@ func imbalance(shares []float64) float64 {
 
 // FactorsTable summarizes the factor decomposition for every workload —
 // the paper's analysis condensed to one row per benchmark.
-func (s *Suite) FactorsTable() (*report.Table, error) {
+func (s *Suite) FactorsTable(ctx context.Context) (*report.Table, error) {
 	t := &report.Table{
 		Title: "Table — scalability factor decomposition",
 		Headers: []string{"workload", "amdahl-f", "acq-growth", "cont-growth",
 			"gc-growth", "gc-share", "lifespan-shift", "lifespan-ks", "top4-share"},
 	}
 	for _, w := range s.cfg.Workloads {
-		sw, err := s.SweepFor(w.Name)
+		sw, err := s.SweepFor(ctx, w.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -376,31 +443,33 @@ func (s *Suite) FactorsTable() (*report.Table, error) {
 			fmt.Sprintf("%.3f", f.LifespanKS),
 			report.FormatPct(f.Top4Share))
 	}
-	return t, nil
+	return s.artifact("FactorsTable", t, nil)
 }
 
 // AblationBias evaluates the paper's first future-work proposal (§IV):
 // phase-biased scheduling, which staggers worker-thread groups in time to
 // reduce lifetime interference. Reported on xalan at the largest count.
-func (s *Suite) AblationBias() (*report.Table, error) {
-	return s.ablation("Ablation — phase-biased scheduling (paper §IV, suggestion 1)",
+func (s *Suite) AblationBias(ctx context.Context) (*report.Table, error) {
+	t, err := s.ablation(ctx, "Ablation — phase-biased scheduling (paper §IV, suggestion 1)",
 		func(cfg *vm.Config) {
 			cfg.Sched.Bias.Groups = 2
 			cfg.Sched.Bias.PhaseLength = 2 * sim.Millisecond
 		},
 		"paper hypothesis: staggering threads shortens lifespans and cuts contention at some throughput cost")
+	return s.artifact("AblationBias", t, err)
 }
 
 // AblationCompartments evaluates the paper's second future-work proposal
 // (§IV): a compartmentalized heap isolating thread groups' objects, which
 // should shorten collection pauses.
-func (s *Suite) AblationCompartments() (*report.Table, error) {
-	return s.ablation("Ablation — compartmentalized heap (paper §IV, suggestion 2)",
+func (s *Suite) AblationCompartments(ctx context.Context) (*report.Table, error) {
+	t, err := s.ablation(ctx, "Ablation — compartmentalized heap (paper §IV, suggestion 2)",
 		func(cfg *vm.Config) { cfg.Compartments = 4 },
 		"paper hypothesis: per-group heap compartments shorten GC pause times")
+	return s.artifact("AblationCompartments", t, err)
 }
 
-func (s *Suite) ablation(title string, modify func(*vm.Config), note string) (*report.Table, error) {
+func (s *Suite) ablation(ctx context.Context, title string, modify func(*vm.Config), note string) (*report.Table, error) {
 	spec, ok := workload.ByName("xalan")
 	if !ok {
 		return nil, fmt.Errorf("core: xalan spec missing")
@@ -413,7 +482,7 @@ func (s *Suite) ablation(title string, modify func(*vm.Config), note string) (*r
 		if mod != nil {
 			mod(&cfg)
 		}
-		return vm.Run(spec, cfg)
+		return s.eng.Run(ctx, spec, cfg)
 	}
 	base, err := runOne(nil)
 	if err != nil {
@@ -474,17 +543,18 @@ func formatBytes(b int64) string {
 	}
 }
 
-// AllArtifacts regenerates every figure and table in DESIGN.md's
-// experiment index, in order.
-func (s *Suite) AllArtifacts() ([]*report.Table, error) {
-	gens := []func() (*report.Table, error){
+// AllArtifacts regenerates every figure and table of the reproduction, in
+// the paper's order. A canceled context stops the batch at the next
+// artifact (and aborts the in-flight sweeps promptly).
+func (s *Suite) AllArtifacts(ctx context.Context) ([]*report.Table, error) {
+	gens := []func(context.Context) (*report.Table, error){
 		s.Fig1a, s.Fig1b, s.Fig1c, s.Fig1d, s.Fig2,
 		s.ClassificationTable, s.WorkDistributionTable, s.FactorsTable,
 		s.AblationBias, s.AblationCompartments,
 	}
 	var out []*report.Table
 	for _, g := range gens {
-		t, err := g()
+		t, err := g(ctx)
 		if err != nil {
 			return nil, err
 		}

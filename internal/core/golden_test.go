@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -21,7 +22,7 @@ func TestGoldenArtifacts(t *testing.T) {
 		Scale:        0.02,
 		Seed:         12345,
 	})
-	tables, err := suite.AllArtifacts()
+	tables, err := suite.AllArtifacts(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

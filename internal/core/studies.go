@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"javasim/internal/gc"
@@ -33,7 +34,7 @@ func (s *Suite) studySpec() (workload.Spec, int, error) {
 // minimum heap" methodology knob (§II-C). Shrinking the heap multiplies
 // collections and GC time; growing it buys them back. This validates the
 // generational cost model against the standard GC time/space trade-off.
-func (s *Suite) StudyHeapFactor() (*report.Table, error) {
+func (s *Suite) StudyHeapFactor(ctx context.Context) (*report.Table, error) {
 	spec, threads, err := s.studySpec()
 	if err != nil {
 		return nil, err
@@ -44,7 +45,7 @@ func (s *Suite) StudyHeapFactor() (*report.Table, error) {
 		Note:    "the paper runs everything at 3x the minimum heap; the GC time/space trade-off validates the heap model",
 	}
 	for _, factor := range []float64{1.5, 2, 3, 4, 6} {
-		res, err := vm.Run(spec, vm.Config{
+		res, err := s.eng.Run(ctx, spec, vm.Config{
 			Threads: threads, Seed: s.cfg.Seed, HeapFactor: factor,
 		})
 		if err != nil {
@@ -57,13 +58,13 @@ func (s *Suite) StudyHeapFactor() (*report.Table, error) {
 			fmt.Sprintf("%d", res.GCStats.FullCount),
 			fmt.Sprintf("%.2f", float64(res.GCStats.PromotedBytes)/(1<<20)))
 	}
-	return t, nil
+	return s.artifact("StudyHeapFactor", t, nil)
 }
 
 // StudyGCWorkers sweeps the parallel GC thread count, validating the
 // synchronization-limited speedup curve of the collection cost model
 // (HotSpot defaults to 33 workers on the 48-core testbed).
-func (s *Suite) StudyGCWorkers() (*report.Table, error) {
+func (s *Suite) StudyGCWorkers(ctx context.Context) (*report.Table, error) {
 	spec, threads, err := s.studySpec()
 	if err != nil {
 		return nil, err
@@ -74,7 +75,7 @@ func (s *Suite) StudyGCWorkers() (*report.Table, error) {
 		Note:    "pause time divides across workers with contention-limited efficiency, never linearly",
 	}
 	for _, w := range []int{1, 2, 4, 8, 16, 33} {
-		res, err := vm.Run(spec, vm.Config{
+		res, err := s.eng.Run(ctx, spec, vm.Config{
 			Threads: threads, Seed: s.cfg.Seed, GC: gc.Config{Workers: w},
 		})
 		if err != nil {
@@ -83,14 +84,14 @@ func (s *Suite) StudyGCWorkers() (*report.Table, error) {
 		t.AddRow(fmt.Sprintf("%d", w), res.GCTime.String(),
 			meanPause(res.GCPauses).String(), maxPause(res.GCPauses).String())
 	}
-	return t, nil
+	return s.artifact("StudyGCWorkers", t, nil)
 }
 
 // StudyTenuring sweeps the tenuring threshold: promote-early floods the
 // old generation (more full collections), promote-late recopies survivors
 // in the nursery. The paper's survivor-copying story (§III-B) lives on
 // exactly this dial.
-func (s *Suite) StudyTenuring() (*report.Table, error) {
+func (s *Suite) StudyTenuring(ctx context.Context) (*report.Table, error) {
 	spec, threads, err := s.studySpec()
 	if err != nil {
 		return nil, err
@@ -100,7 +101,7 @@ func (s *Suite) StudyTenuring() (*report.Table, error) {
 		Headers: []string{"threshold", "gc", "copied-MB", "promoted-MB", "full-gcs"},
 	}
 	for _, th := range []uint8{1, 2, 4, 8} {
-		res, err := vm.Run(spec, vm.Config{
+		res, err := s.eng.Run(ctx, spec, vm.Config{
 			Threads: threads, Seed: s.cfg.Seed, GC: gc.Config{TenuringThreshold: th},
 		})
 		if err != nil {
@@ -111,13 +112,13 @@ func (s *Suite) StudyTenuring() (*report.Table, error) {
 			fmt.Sprintf("%.2f", float64(res.GCStats.PromotedBytes)/(1<<20)),
 			fmt.Sprintf("%d", res.GCStats.FullCount))
 	}
-	return t, nil
+	return s.artifact("StudyTenuring", t, nil)
 }
 
 // StudyNUMA contrasts the NUMA machine against a hypothetical flat
 // (uniform-memory) 48-core machine, isolating how much of the mutator
 // slowdown at high thread counts the remote-access model contributes.
-func (s *Suite) StudyNUMA() (*report.Table, error) {
+func (s *Suite) StudyNUMA(ctx context.Context) (*report.Table, error) {
 	spec, threads, err := s.studySpec()
 	if err != nil {
 		return nil, err
@@ -136,13 +137,13 @@ func (s *Suite) StudyNUMA() (*report.Table, error) {
 		name string
 		cfg  machine.Config
 	}{{"opteron-6168 (NUMA)", numa}, {"flat 48-core", flat}} {
-		res, err := vm.Run(spec, vm.Config{Machine: m.cfg, Threads: threads, Seed: s.cfg.Seed})
+		res, err := s.eng.Run(ctx, spec, vm.Config{Machine: m.cfg, Threads: threads, Seed: s.cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", m.name, err)
 		}
 		t.AddRow(m.name, res.TotalTime.String(), res.MutatorTime.String(), res.GCTime.String())
 	}
-	return t, nil
+	return s.artifact("StudyNUMA", t, nil)
 }
 
 // StudyCollector contrasts the paper's stop-the-world throughput
@@ -152,7 +153,7 @@ func (s *Suite) StudyNUMA() (*report.Table, error) {
 // concurrent collector converts stop-the-world full collections into
 // background CPU consumption (mutator dilation) plus brief bracketing
 // pauses.
-func (s *Suite) StudyCollector() (*report.Table, error) {
+func (s *Suite) StudyCollector(ctx context.Context) (*report.Table, error) {
 	spec, ok := workload.ByName("server")
 	if !ok {
 		return nil, fmt.Errorf("core: server spec missing")
@@ -175,7 +176,7 @@ func (s *Suite) StudyCollector() (*report.Table, error) {
 		if mode.conc {
 			cfg.GC.TriggerRatio = 0.5
 		}
-		res, err := vm.Run(spec, cfg)
+		res, err := s.eng.Run(ctx, spec, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: collector study %s: %w", mode.name, err)
 		}
@@ -185,7 +186,7 @@ func (s *Suite) StudyCollector() (*report.Table, error) {
 			fmt.Sprintf("%d", res.ConcCycles),
 			res.ConcGCCPUTime.String())
 	}
-	return t, nil
+	return s.artifact("StudyCollector", t, nil)
 }
 
 // StudyPretenuring evaluates allocation-site pretenuring — the classic
@@ -193,7 +194,7 @@ func (s *Suite) StudyCollector() (*report.Table, error) {
 // lifespan-stretched objects stop flowing through the nursery, the
 // survivor copying that inflates minor pauses at high thread counts
 // disappears with them.
-func (s *Suite) StudyPretenuring() (*report.Table, error) {
+func (s *Suite) StudyPretenuring(ctx context.Context) (*report.Table, error) {
 	spec, threads, err := s.studySpec()
 	if err != nil {
 		return nil, err
@@ -208,7 +209,7 @@ func (s *Suite) StudyPretenuring() (*report.Table, error) {
 		name string
 		on   bool
 	}{{"baseline", false}, {"pretenuring", true}} {
-		res, err := vm.Run(spec, vm.Config{Threads: threads, Seed: s.cfg.Seed, Pretenuring: mode.on})
+		res, err := s.eng.Run(ctx, spec, vm.Config{Threads: threads, Seed: s.cfg.Seed, Pretenuring: mode.on})
 		if err != nil {
 			return nil, fmt.Errorf("core: pretenuring study %s: %w", mode.name, err)
 		}
@@ -230,21 +231,21 @@ func (s *Suite) StudyPretenuring() (*report.Table, error) {
 			fmt.Sprintf("%d", res.GCStats.FullCount),
 			fmt.Sprintf("%d", res.HeapStats.PretenuredAllocs))
 	}
-	return t, nil
+	return s.artifact("StudyPretenuring", t, nil)
 }
 
 // StudyReplication reruns the headline configuration under several seeds
 // and reports mean and standard deviation of the key metrics —
 // methodological due diligence that the conclusions do not hinge on one
 // random stream.
-func (s *Suite) StudyReplication() (*report.Table, error) {
+func (s *Suite) StudyReplication(ctx context.Context) (*report.Table, error) {
 	spec, threads, err := s.studySpec()
 	if err != nil {
 		return nil, err
 	}
 	var totals, gcs, cdfs, conts []float64
 	for i := 0; i < 5; i++ {
-		res, err := vm.Run(spec, vm.Config{Threads: threads, Seed: s.cfg.Seed + uint64(i)*1000})
+		res, err := s.eng.Run(ctx, spec, vm.Config{Threads: threads, Seed: s.cfg.Seed + uint64(i)*1000})
 		if err != nil {
 			return nil, fmt.Errorf("core: replication seed %d: %w", i, err)
 		}
@@ -270,18 +271,18 @@ func (s *Suite) StudyReplication() (*report.Table, error) {
 	row("gc time", "ms", gcs)
 	row("objects <1KB", "%", cdfs)
 	row("lock contentions", "", conts)
-	return t, nil
+	return s.artifact("StudyReplication", t, nil)
 }
 
 // AllStudies regenerates the design-choice study tables.
-func (s *Suite) AllStudies() ([]*report.Table, error) {
-	gens := []func() (*report.Table, error){
+func (s *Suite) AllStudies(ctx context.Context) ([]*report.Table, error) {
+	gens := []func(context.Context) (*report.Table, error){
 		s.StudyHeapFactor, s.StudyGCWorkers, s.StudyTenuring, s.StudyNUMA,
 		s.StudyCollector, s.StudyPretenuring, s.StudyReplication,
 	}
 	var out []*report.Table
 	for _, g := range gens {
-		t, err := g()
+		t, err := g(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,7 @@ func studySuite() *Suite {
 }
 
 func TestStudyHeapFactor(t *testing.T) {
-	tb, err := studySuite().StudyHeapFactor()
+	tb, err := studySuite().StudyHeapFactor(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestStudyHeapFactor(t *testing.T) {
 }
 
 func TestStudyGCWorkersMonotone(t *testing.T) {
-	tb, err := studySuite().StudyGCWorkers()
+	tb, err := studySuite().StudyGCWorkers(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestStudyGCWorkersMonotone(t *testing.T) {
 }
 
 func TestStudyTenuring(t *testing.T) {
-	tb, err := studySuite().StudyTenuring()
+	tb, err := studySuite().StudyTenuring(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestStudyTenuring(t *testing.T) {
 }
 
 func TestStudyNUMA(t *testing.T) {
-	tb, err := studySuite().StudyNUMA()
+	tb, err := studySuite().StudyNUMA(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestStudyNUMA(t *testing.T) {
 }
 
 func TestStudyCollector(t *testing.T) {
-	tb, err := studySuite().StudyCollector()
+	tb, err := studySuite().StudyCollector(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestStudyCollector(t *testing.T) {
 }
 
 func TestStudyPretenuring(t *testing.T) {
-	tb, err := studySuite().StudyPretenuring()
+	tb, err := studySuite().StudyPretenuring(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestStudyPretenuring(t *testing.T) {
 }
 
 func TestAllStudies(t *testing.T) {
-	tables, err := studySuite().AllStudies()
+	tables, err := studySuite().AllStudies(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -137,6 +137,28 @@ func (s *Simulator) Run() Time {
 	return s.now
 }
 
+// RunInterruptible fires events like Run, but calls check before every
+// batch of `every` events and aborts with check's error as soon as it
+// returns non-nil. It is the cancellation hook for long simulations: the
+// VM points check at ctx.Err, so a canceled context stops the event loop
+// within one batch instead of draining the whole run. An `every` of zero
+// selects a batch size that keeps the check overhead negligible.
+func (s *Simulator) RunInterruptible(every int, check func() error) (Time, error) {
+	if every <= 0 {
+		every = 4096
+	}
+	for {
+		if err := check(); err != nil {
+			return s.now, err
+		}
+		for i := 0; i < every; i++ {
+			if !s.Step() {
+				return s.now, nil
+			}
+		}
+	}
+}
+
 // RunUntil fires events with timestamps <= deadline, then advances the clock
 // to the deadline (if it is later than the last event). Events scheduled
 // beyond the deadline remain queued.

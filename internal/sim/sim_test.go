@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -265,5 +266,52 @@ func TestNestedScheduling(t *testing.T) {
 	}
 	if s.Now() != 999 {
 		t.Errorf("Now = %v, want 999", s.Now())
+	}
+}
+
+func TestRunInterruptibleDrains(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(Time(i), func() { fired++ })
+	}
+	end, err := s.RunInterruptible(4, func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 {
+		t.Errorf("fired = %d, want 10", fired)
+	}
+	if end != 9 {
+		t.Errorf("end = %v, want 9", end)
+	}
+}
+
+func TestRunInterruptibleAborts(t *testing.T) {
+	s := New()
+	// A self-perpetuating event chain: without interruption this would
+	// never drain.
+	var recur func()
+	recur = func() { s.Schedule(1, recur) }
+	s.Schedule(0, recur)
+
+	sentinel := errors.New("stop now")
+	checks := 0
+	_, err := s.RunInterruptible(8, func() error {
+		checks++
+		if checks > 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Three clean checks of 8 events each ran before the abort.
+	if got := s.Executed(); got != 24 {
+		t.Errorf("executed = %d, want 24", got)
+	}
+	if s.Pending() == 0 {
+		t.Error("aborted queue should retain pending events")
 	}
 }

@@ -11,6 +11,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 
 	"javasim/internal/gc"
@@ -73,6 +74,12 @@ type Config struct {
 	HelperPeriod sim.Time
 	HelperBurst  sim.Time
 }
+
+// Canonical returns the configuration with every zero value resolved to
+// its default — the form two configs must be compared in to decide
+// whether they describe the same run (the engine's cache key is built
+// from it).
+func (c Config) Canonical() Config { return c.withDefaults() }
 
 // withDefaults resolves the zero values.
 func (c Config) withDefaults() Config {
@@ -288,8 +295,22 @@ type vm struct {
 }
 
 // Run executes one benchmark under the given configuration and returns the
-// measurements.
+// measurements. It is RunContext with a background context.
 func Run(spec workload.Spec, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), spec, cfg)
+}
+
+// cancelCheckEvents is how many simulation events fire between context
+// checks in RunContext. Events are sub-microsecond of host time, so this
+// keeps cancellation latency well under a millisecond while making the
+// per-event overhead unmeasurable.
+const cancelCheckEvents = 4096
+
+// RunContext executes one benchmark under the given configuration,
+// checking ctx at checkpoints inside the simulator's event loop. A
+// canceled context aborts the run promptly and returns an error wrapping
+// ctx.Err(); the partial simulation state is discarded.
+func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -370,7 +391,10 @@ func Run(spec workload.Spec, cfg Config) (*Result, error) {
 		}
 	})
 
-	s.Run()
+	if _, err := s.RunInterruptible(cancelCheckEvents, ctx.Err); err != nil {
+		return nil, fmt.Errorf("vm: %s with %d threads canceled at %v: %w",
+			spec.Name, cfg.Threads, s.Now(), err)
+	}
 	if v.runErr != nil {
 		return nil, v.runErr
 	}
@@ -379,13 +403,6 @@ func Run(spec workload.Spec, cfg Config) (*Result, error) {
 			spec.Name, v.aliveCount)
 	}
 	return v.result(), nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func (v *vm) setupLocks() {

@@ -14,24 +14,41 @@
 // profiled the way the paper's DTrace scripts counted acquisitions and
 // contention events.
 //
-// # Quick start
+// # The Engine
 //
+// All simulation dispatches through an Engine: a long-lived object owning
+// a bounded worker pool and a memoizing result cache, safe for any number
+// of concurrent callers. Every entry point takes a context, so large
+// batches can be canceled mid-run, and observers stream progress events
+// as runs, sweep points, and figures complete.
+//
+//	eng := javasim.NewEngine(
+//		javasim.WithParallelism(8),
+//		javasim.WithObserver(javasim.ObserverFunc(func(ev javasim.Event) {
+//			log.Println(ev)
+//		})),
+//	)
 //	spec, _ := javasim.BenchmarkByName("xalan")
-//	res, err := javasim.Run(spec, javasim.Config{Threads: 8, Seed: 42})
+//	res, err := eng.Run(ctx, spec, javasim.Config{Threads: 8, Seed: 42})
 //	if err != nil { ... }
 //	fmt.Println(res.TotalTime, res.GCTime, res.Lifespans.FractionBelow(1024))
 //
 // # Reproducing the paper
 //
-//	suite := javasim.NewSuite(javasim.ExperimentConfig{})
-//	tables, err := suite.AllArtifacts() // Fig 1a-1d, Fig 2, all tables
+//	suite := eng.Suite(javasim.ExperimentConfig{})
+//	tables, err := suite.AllArtifacts(ctx) // Fig 1a-1d, Fig 2, all tables
 //
 // Runs are deterministic: the same Config.Seed reproduces a run
-// bit-for-bit. See DESIGN.md for the system inventory and EXPERIMENTS.md
-// for the paper-versus-measured record.
+// bit-for-bit, whether points execute sequentially or across the worker
+// pool. Identical runs requested twice (by figures, studies, or
+// concurrent callers) simulate once and share the memoized Result. See
+// README.md for the API guide and the migration table from the old
+// free-function API.
 package javasim
 
 import (
+	"context"
+
 	"javasim/internal/core"
 	"javasim/internal/lockprof"
 	"javasim/internal/metrics"
@@ -56,11 +73,48 @@ type (
 	Time = sim.Time
 )
 
+// Engine types.
+type (
+	// Engine owns a bounded simulation worker pool and a memoizing result
+	// cache; all runs, sweeps, and suites dispatch through it. Safe for
+	// concurrent use.
+	Engine = core.Engine
+	// Option configures an Engine at construction.
+	Option = core.Option
+	// EngineStats is a snapshot of an engine's lifetime counters.
+	EngineStats = core.Stats
+	// Observer receives engine progress events; implementations must be
+	// safe for concurrent use.
+	Observer = core.Observer
+	// ObserverFunc adapts a function to the Observer interface.
+	ObserverFunc = core.ObserverFunc
+	// Event is one progress notification from an engine.
+	Event = core.Event
+	// EventKind classifies a progress event.
+	EventKind = core.EventKind
+)
+
+// Progress event kinds streamed to observers.
+const (
+	// RunStarted fires when a simulation is dispatched to a worker slot.
+	RunStarted = core.RunStarted
+	// RunFinished fires when a dispatched simulation returns.
+	RunFinished = core.RunFinished
+	// RunCached fires when a run is answered from the memoizing cache.
+	RunCached = core.RunCached
+	// SweepPointDone fires as each point of a sweep completes.
+	SweepPointDone = core.SweepPointDone
+	// SweepDone fires when a whole sweep is assembled.
+	SweepDone = core.SweepDone
+	// ArtifactRendered fires when a suite figure, table, or study is done.
+	ArtifactRendered = core.ArtifactRendered
+)
+
 // Analysis types.
 type (
 	// Sweep is one workload measured across thread counts.
 	Sweep = core.Sweep
-	// SweepConfig drives RunSweep.
+	// SweepConfig drives Engine.Sweep.
 	SweepConfig = core.SweepConfig
 	// Classification is the scalable/non-scalable verdict for a sweep.
 	Classification = core.Classification
@@ -68,7 +122,8 @@ type (
 	Factors = core.Factors
 	// ExperimentConfig parameterizes the reproduction suite.
 	ExperimentConfig = core.ExperimentConfig
-	// Suite regenerates the paper's figures and tables.
+	// Suite regenerates the paper's figures and tables through its
+	// engine's pool and cache.
 	Suite = core.Suite
 	// Table is a rendered figure or table.
 	Table = report.Table
@@ -87,14 +142,50 @@ type (
 // threads.
 var DefaultThreadCounts = core.DefaultThreadCounts
 
-// Run executes one benchmark configuration on the simulated JVM.
-func Run(spec Spec, cfg Config) (*Result, error) { return vm.Run(spec, cfg) }
+// NewEngine builds an Engine from functional options. With no options it
+// parallelizes up to runtime.GOMAXPROCS(0) simulations and memoizes 256
+// results.
+func NewEngine(opts ...Option) *Engine { return core.NewEngine(opts...) }
 
-// RunSweep measures spec across thread counts.
-func RunSweep(spec Spec, cfg SweepConfig) (*Sweep, error) { return core.RunSweep(spec, cfg) }
+// WithParallelism bounds the number of simulations the engine executes
+// concurrently; sweeps never spawn more simulation goroutines than this.
+func WithParallelism(n int) Option { return core.WithParallelism(n) }
+
+// WithSeed sets the seed substituted into runs whose Config.Seed is zero.
+func WithSeed(seed uint64) Option { return core.WithSeed(seed) }
+
+// WithObserver registers an observer for the engine's progress events.
+func WithObserver(o Observer) Option { return core.WithObserver(o) }
+
+// WithCache sizes the engine's memoizing result cache in entries; zero or
+// negative disables memoization.
+func WithCache(entries int) Option { return core.WithCache(entries) }
+
+// Run executes one benchmark configuration on the shared default engine.
+// Unlike earlier releases, which simulated afresh on every call, the
+// default engine memoizes: repeated identical runs may return the same
+// shared *Result, which must be treated as immutable.
+//
+// Deprecated: construct an Engine and call Engine.Run, which adds
+// context cancellation, bounded parallelism, memoization, and progress
+// observation.
+func Run(spec Spec, cfg Config) (*Result, error) {
+	return core.DefaultEngine().Run(context.Background(), spec, cfg)
+}
+
+// RunSweep measures spec across thread counts on the shared default
+// engine. As with Run, repeated identical sweeps share memoized Results,
+// which must be treated as immutable.
+//
+// Deprecated: construct an Engine and call Engine.Sweep.
+func RunSweep(spec Spec, cfg SweepConfig) (*Sweep, error) {
+	return core.DefaultEngine().Sweep(context.Background(), spec, cfg)
+}
 
 // NewSuite builds the experiment suite that regenerates every figure and
-// table from the paper.
+// table from the paper, bound to the shared default engine.
+//
+// Deprecated: construct an Engine and call Engine.Suite.
 func NewSuite(cfg ExperimentConfig) *Suite { return core.NewSuite(cfg) }
 
 // NewLockProfiler returns an empty DTrace-style lock profiler to attach to

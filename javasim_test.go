@@ -1,6 +1,7 @@
 package javasim_test
 
 import (
+	"context"
 	"testing"
 
 	"javasim"
@@ -54,7 +55,7 @@ func TestFacadeSweepAndSuite(t *testing.T) {
 		ThreadCounts: []int{2, 4},
 		Scale:        0.02,
 	})
-	tb, err := suite.Fig1a()
+	tb, err := suite.Fig1a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
