@@ -122,7 +122,7 @@ func BenchmarkTableClassification(b *testing.B) {
 			b.Fatal(err)
 		}
 		matches = 0
-		for _, spec := range javasim.Benchmarks() {
+		for _, spec := range javasim.PaperBenchmarks() {
 			if sweepOrFatal(b, s, spec.Name).Classify(2.0).Matches() {
 				matches++
 			}

@@ -1,13 +1,16 @@
 // Command javasim runs one benchmark configuration on the simulated JVM
 // and prints the measurement record — the per-run driver behind the
-// paper's methodology (§II-B). The run dispatches through a
-// javasim.Engine, so Ctrl-C cancels it mid-simulation.
+// paper's methodology (§II-B). It also executes declarative scenario
+// plans (-plan) and enumerates the workload registry (-list). Everything
+// dispatches through a javasim.Engine, so Ctrl-C cancels mid-simulation.
 //
 // Usage:
 //
 //	javasim -workload xalan -threads 16 [-heap-factor 3] [-seed 42]
 //	        [-scale 1.0] [-compartments 4] [-bias-groups 2]
 //	        [-trace out.trace] [-lockprof] [-v]
+//	javasim -plan plan.json [-parallel 8] [-progress]
+//	javasim -list
 package main
 
 import (
@@ -26,9 +29,13 @@ import (
 
 func main() {
 	var (
-		name         = flag.String("workload", "xalan", "benchmark: sunflow|lusearch|xalan|h2|eclipse|jython|server")
+		name         = flag.String("workload", "xalan", "benchmark: any registered workload (see -list)")
 		specFile     = flag.String("spec", "", "load a custom workload Spec from this JSON file (overrides -workload)")
 		dumpSpec     = flag.Bool("dump-spec", false, "print the selected workload's Spec as JSON and exit")
+		planFile     = flag.String("plan", "", "execute a declarative scenario plan from this JSON file and exit")
+		list         = flag.Bool("list", false, "list the workload registry and exit")
+		parallel     = flag.Int("parallel", 0, "with -plan: max concurrent simulations (0 = GOMAXPROCS)")
+		progress     = flag.Bool("progress", false, "with -plan: stream engine progress events to stderr")
 		threads      = flag.Int("threads", 4, "mutator threads (cores = threads, per the paper)")
 		cores        = flag.Int("cores", 0, "enabled cores; 0 means cores = threads")
 		heapFactor   = flag.Float64("heap-factor", 3, "heap size as a multiple of the minimum heap")
@@ -44,6 +51,15 @@ func main() {
 	)
 	flag.Parse()
 
+	if *list {
+		listWorkloads()
+		return
+	}
+	if *planFile != "" {
+		runPlan(*planFile, *parallel, *progress)
+		return
+	}
+
 	var spec javasim.Spec
 	if *specFile != "" {
 		f, err := os.Open(*specFile)
@@ -57,13 +73,10 @@ func main() {
 		}
 	} else {
 		var ok bool
-		spec, ok = javasim.BenchmarkByName(*name)
+		spec, ok = javasim.LookupWorkload(*name)
 		if !ok {
-			names := make([]string, 0, 6)
-			for _, s := range javasim.Benchmarks() {
-				names = append(names, s.Name)
-			}
-			fatalf("unknown workload %q; choose one of %s (or an extension)", *name, strings.Join(names, ", "))
+			fatalf("unknown workload %q; choose one of %s (or -spec a custom file)",
+				*name, strings.Join(javasim.WorkloadNames(), ", "))
 		}
 	}
 	if *dumpSpec {
@@ -162,6 +175,70 @@ func main() {
 			fatalf("close trace: %v", err)
 		}
 		fmt.Printf("\ntrace: %d events written to %s\n", tw.Count(), *traceOut)
+	}
+}
+
+// listWorkloads prints the registry: every runnable workload with its
+// provenance and the paper's scalability classification.
+func listWorkloads() {
+	fmt.Printf("%-12s %-10s %-14s %8s %s\n", "NAME", "SET", "DISTRIBUTION", "UNITS", "PAPER-VERDICT")
+	paper := make(map[string]bool)
+	for _, s := range javasim.PaperBenchmarks() {
+		paper[s.Name] = true
+	}
+	for _, s := range javasim.Workloads() {
+		set := "extension"
+		verdict := "-"
+		if paper[s.Name] {
+			set = "paper"
+			verdict = map[bool]string{true: "scalable", false: "non-scalable"}[javasim.PaperScalable(s.Name)]
+		}
+		fmt.Printf("%-12s %-10s %-14s %8d %s\n", s.Name, set, s.Distribution, s.TotalUnits, verdict)
+	}
+}
+
+// runPlan executes a declarative scenario plan file through an engine and
+// prints every rendered table.
+func runPlan(path string, parallel int, progress bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("open plan: %v", err)
+	}
+	plan, err := javasim.LoadPlan(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	opts := []javasim.Option{}
+	if parallel > 0 {
+		opts = append(opts, javasim.WithParallelism(parallel))
+	}
+	if progress {
+		opts = append(opts, javasim.WithObserver(javasim.ObserverFunc(func(ev javasim.Event) {
+			fmt.Fprintf(os.Stderr, "javasim: %v\n", ev)
+		})))
+	}
+	eng := javasim.NewEngine(opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	pr, err := eng.RunPlan(ctx, plan)
+	if err != nil {
+		fatalf("plan: %v", err)
+	}
+	for i, t := range pr.Tables() {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := t.WriteASCII(os.Stdout); err != nil {
+			fatalf("render: %v", err)
+		}
+	}
+	if progress {
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "javasim: %d simulations, %d cache hits, %d memoized\n",
+			st.Simulations, st.CacheHits, st.CachedResults)
 	}
 }
 

@@ -30,7 +30,7 @@ func main() {
 	)
 	flag.Parse()
 
-	spec, ok := javasim.BenchmarkByName(*name)
+	spec, ok := javasim.LookupWorkload(*name)
 	if !ok {
 		fatalf("unknown workload %q", *name)
 	}

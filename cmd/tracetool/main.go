@@ -1,5 +1,7 @@
 // Command tracetool inspects the Elephant-Tracks-style binary traces
-// produced by javasim -trace.
+// produced by javasim -trace. Like the other binaries, it is
+// context-aware: Ctrl-C cancels an analysis mid-stream, which matters for
+// the multi-gigabyte traces long runs produce.
 //
 // Usage:
 //
@@ -10,11 +12,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"javasim/internal/trace"
 )
@@ -34,23 +38,26 @@ func main() {
 	defer f.Close()
 	r := trace.NewReader(f)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	switch cmd {
 	case "stats":
-		stats(r)
+		stats(ctx, r)
 	case "cdf":
-		cdf(r)
+		cdf(ctx, r)
 	case "threads":
-		threads(r)
+		threads(ctx, r)
 	case "dump":
-		dump(r, *dumpN)
+		dump(ctx, r, *dumpN)
 	default:
 		usage()
 	}
 }
 
 // threads prints the per-thread allocation and lifespan breakdown.
-func threads(r *trace.Reader) {
-	a, err := trace.AnalyzeDetailed(r, 0)
+func threads(ctx context.Context, r *trace.Reader) {
+	a, err := trace.AnalyzeDetailedContext(ctx, r, 0)
 	if err != nil {
 		fatalf("analyze: %v", err)
 	}
@@ -76,8 +83,8 @@ func peakChurn(ws []trace.ChurnWindow) string {
 
 // cdf prints the cumulative lifespan distribution in the paper's
 // Figure 1c/1d bucket layout.
-func cdf(r *trace.Reader) {
-	a, err := trace.Analyze(r)
+func cdf(ctx context.Context, r *trace.Reader) {
+	a, err := trace.AnalyzeContext(ctx, r)
 	if err != nil {
 		fatalf("analyze: %v", err)
 	}
@@ -87,8 +94,8 @@ func cdf(r *trace.Reader) {
 	}
 }
 
-func stats(r *trace.Reader) {
-	a, err := trace.Analyze(r)
+func stats(ctx context.Context, r *trace.Reader) {
+	a, err := trace.AnalyzeContext(ctx, r)
 	if err != nil {
 		fatalf("analyze: %v", err)
 	}
@@ -104,8 +111,11 @@ func stats(r *trace.Reader) {
 	}
 }
 
-func dump(r *trace.Reader, n int) {
+func dump(ctx context.Context, r *trace.Reader, n int) {
 	for i := 0; n == 0 || i < n; i++ {
+		if i%1024 == 0 && ctx.Err() != nil {
+			fatalf("dump: %v", ctx.Err())
+		}
 		ev, err := r.Read()
 		if errors.Is(err, io.EOF) {
 			return

@@ -12,7 +12,7 @@ import (
 // engine and reads the paper's three headline measurements.
 func ExampleEngine_Run() {
 	eng := javasim.NewEngine()
-	spec, _ := javasim.BenchmarkByName("xalan")
+	spec, _ := javasim.LookupWorkload("xalan")
 	res, err := eng.Run(context.Background(), spec.Scale(0.05), javasim.Config{Threads: 8, Seed: 42})
 	if err != nil {
 		panic(err)
@@ -28,7 +28,7 @@ func ExampleEngine_Run() {
 // pool and applies the paper's scalability classification.
 func ExampleEngine_Sweep() {
 	eng := javasim.NewEngine(javasim.WithParallelism(2))
-	spec, _ := javasim.BenchmarkByName("jython")
+	spec, _ := javasim.LookupWorkload("jython")
 	sw, err := eng.Sweep(context.Background(), spec.Scale(0.05), javasim.SweepConfig{
 		ThreadCounts: []int{4, 16},
 	})
@@ -43,7 +43,7 @@ func ExampleEngine_Sweep() {
 // ExampleRunSweep exercises the deprecated free-function API, which
 // delegates to the shared default engine.
 func ExampleRunSweep() {
-	spec, _ := javasim.BenchmarkByName("jython")
+	spec, _ := javasim.LookupWorkload("jython")
 	sw, err := javasim.RunSweep(spec.Scale(0.05), javasim.SweepConfig{
 		ThreadCounts: []int{4, 16},
 	})
@@ -82,7 +82,7 @@ func ExampleWithObserver() {
 			}
 		})),
 	)
-	spec, _ := javasim.BenchmarkByName("jython")
+	spec, _ := javasim.LookupWorkload("jython")
 	cfg := javasim.SweepConfig{ThreadCounts: []int{2, 4}}
 	if _, err := eng.Sweep(context.Background(), spec.Scale(0.05), cfg); err != nil {
 		panic(err)

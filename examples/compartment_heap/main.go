@@ -23,7 +23,7 @@ const threads = 48
 var eng = javasim.NewEngine()
 
 func run(label string, mutate func(*javasim.Config)) *javasim.Result {
-	spec, ok := javasim.BenchmarkByName("xalan")
+	spec, ok := javasim.LookupWorkload("xalan")
 	if !ok {
 		log.Fatal("xalan model missing")
 	}

@@ -83,11 +83,18 @@ func study(spec javasim.Spec) {
 }
 
 func main() {
+	// Registering a custom model makes it resolvable by name everywhere —
+	// scenario plans, cmd/javasim -workload, the experiment suite.
+	if err := javasim.RegisterWorkload(analyticsSpec()); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("classifying custom workloads with the paper's methodology:")
-	study(analyticsSpec())
+	analytics, _ := javasim.LookupWorkload("analytics")
+	study(analytics)
 	study(configStoreSpec())
 
-	server, _ := javasim.BenchmarkByName("server")
+	server, _ := javasim.LookupWorkload("server")
 	study(server.Scale(0.5))
 
 	fmt.Println("\nthe framework needs only a Spec: work distribution, allocation")

@@ -20,7 +20,7 @@ const workloadName = "xalan"
 var eng = javasim.NewEngine()
 
 func runAt(threads int) (*javasim.Result, *javasim.MemoryTrace) {
-	spec, ok := javasim.BenchmarkByName(workloadName)
+	spec, ok := javasim.LookupWorkload(workloadName)
 	if !ok {
 		log.Fatalf("unknown benchmark %s", workloadName)
 	}

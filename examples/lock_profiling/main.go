@@ -21,7 +21,7 @@ import (
 var eng = javasim.NewEngine()
 
 func profile(name string, threads int) {
-	spec, ok := javasim.BenchmarkByName(name)
+	spec, ok := javasim.LookupWorkload(name)
 	if !ok {
 		log.Fatalf("unknown benchmark %s", name)
 	}

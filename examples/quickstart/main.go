@@ -14,7 +14,7 @@ import (
 func main() {
 	// Pick one of the six DaCapo models. xalan is the paper's Figure 1d
 	// subject: a scalable XSLT transformer with a hot shared work queue.
-	spec, ok := javasim.BenchmarkByName("xalan")
+	spec, ok := javasim.LookupWorkload("xalan")
 	if !ok {
 		log.Fatal("xalan model missing")
 	}

@@ -9,6 +9,13 @@
 // non-scalable by the paper's operational definition, and decomposes the
 // observed scaling loss into the paper's factors: sequential fraction,
 // lock contention, GC share growth, lifespan shift, and work imbalance.
+//
+// Experiments are data: a Scenario declares one experiment (workload
+// reference, thread counts, config overrides, repeats, outputs), a Plan
+// is an ordered set of scenarios plus cross-scenario reports, and
+// Engine.RunPlan executes the whole matrix through the engine's bounded
+// pool and memoizing cache. Plans round-trip through JSON, and the
+// paper's own figure suite is the built-in PaperPlan.
 package core
 
 import (

@@ -13,7 +13,7 @@ import (
 // testSweep runs a reduced-scale sweep for unit tests.
 func testSweep(t *testing.T, name string, counts []int) *Sweep {
 	t.Helper()
-	spec, ok := workload.ByName(name)
+	spec, ok := workload.Lookup(name)
 	if !ok {
 		t.Fatalf("unknown workload %s", name)
 	}
@@ -277,7 +277,7 @@ func TestPaperShapes(t *testing.T) {
 	})
 
 	// E6: classification matches the paper for all six benchmarks.
-	for _, w := range workload.All() {
+	for _, w := range workload.PaperSet() {
 		sw, err := s.SweepFor(context.Background(), w.Name)
 		if err != nil {
 			t.Fatal(err)

@@ -15,7 +15,7 @@ import (
 
 func testSpec(t testing.TB, name string, scale float64) workload.Spec {
 	t.Helper()
-	spec, ok := workload.ByName(name)
+	spec, ok := workload.Lookup(name)
 	if !ok {
 		t.Fatalf("unknown workload %s", name)
 	}

@@ -38,7 +38,7 @@ func (c ExperimentConfig) withDefaults() ExperimentConfig {
 		c.Seed = 42
 	}
 	if len(c.Workloads) == 0 {
-		c.Workloads = workload.All()
+		c.Workloads = workload.PaperSet()
 	}
 	return c
 }
@@ -150,40 +150,35 @@ func (s *Suite) artifact(name string, t *report.Table, err error) (*report.Table
 	return t, err
 }
 
-func (s *Suite) threadHeaders(key string) []string {
-	hs := []string{key}
-	for _, n := range s.cfg.ThreadCounts {
-		hs = append(hs, fmt.Sprintf("t=%d", n))
-	}
-	return hs
-}
-
-// seriesTable renders one number per (workload, thread count).
-func (s *Suite) seriesTable(ctx context.Context, title, key string, f func(*Sweep) []float64, format func(float64) string) (*report.Table, error) {
-	t := &report.Table{Title: title, Headers: s.threadHeaders(key)}
+// workloadSweeps collects the memoized sweep of every suite workload, in
+// configuration order, with the workload names as row labels.
+func (s *Suite) workloadSweeps(ctx context.Context) ([]string, []*Sweep, error) {
+	labels := make([]string, 0, len(s.cfg.Workloads))
+	sweeps := make([]*Sweep, 0, len(s.cfg.Workloads))
 	for _, w := range s.cfg.Workloads {
 		sw, err := s.SweepFor(ctx, w.Name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		row := []string{w.Name}
-		for _, v := range f(sw) {
-			row = append(row, format(v))
-		}
-		t.AddRow(row...)
+		labels = append(labels, w.Name)
+		sweeps = append(sweeps, sw)
 	}
-	return t, nil
+	return labels, sweeps, nil
+}
+
+// seriesTable renders one metric per (workload, thread count).
+func (s *Suite) seriesTable(ctx context.Context, title string, m Metric) (*report.Table, error) {
+	labels, sweeps, err := s.workloadSweeps(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return renderSeries(title, "workload", labels, sweeps, m)
 }
 
 // Fig1a reproduces Figure 1a: total lock acquisitions per run versus
 // thread count, for all six benchmarks.
 func (s *Suite) Fig1a(ctx context.Context) (*report.Table, error) {
-	t, err := s.seriesTable(ctx,
-		"Figure 1a — lock acquisitions vs threads",
-		"workload",
-		func(sw *Sweep) []float64 { return sw.Acquisitions() },
-		func(v float64) string { return report.FormatCount(int64(v)) },
-	)
+	t, err := s.seriesTable(ctx, "Figure 1a — lock acquisitions vs threads", MetricAcquisitions)
 	if err != nil {
 		return nil, err
 	}
@@ -193,12 +188,7 @@ func (s *Suite) Fig1a(ctx context.Context) (*report.Table, error) {
 
 // Fig1b reproduces Figure 1b: lock contention instances versus threads.
 func (s *Suite) Fig1b(ctx context.Context) (*report.Table, error) {
-	t, err := s.seriesTable(ctx,
-		"Figure 1b — lock contentions vs threads",
-		"workload",
-		func(sw *Sweep) []float64 { return sw.Contentions() },
-		func(v float64) string { return report.FormatCount(int64(v)) },
-	)
+	t, err := s.seriesTable(ctx, "Figure 1b — lock contentions vs threads", MetricContentions)
 	if err != nil {
 		return nil, err
 	}
@@ -217,31 +207,7 @@ func (s *Suite) LifespanCDF(ctx context.Context, name string, lowThreads, highTh
 	if err != nil {
 		return nil, err
 	}
-	var low, high *vm.Result
-	for _, p := range sw.Points {
-		if p.Threads == lowThreads {
-			low = p.Result
-		}
-		if p.Threads == highThreads {
-			high = p.Result
-		}
-	}
-	if low == nil || high == nil {
-		return nil, fmt.Errorf("core: thread counts %d/%d not in sweep for %s",
-			lowThreads, highThreads, name)
-	}
-	t := &report.Table{
-		Title: fmt.Sprintf("%s object lifetime CDF (%% of objects with lifespan < X bytes)", name),
-		Headers: []string{"lifespan <",
-			fmt.Sprintf("%d threads", lowThreads),
-			fmt.Sprintf("%d threads", highThreads)},
-	}
-	for _, lim := range cdfLimits {
-		t.AddRow(formatBytes(lim),
-			report.FormatPct(low.Lifespans.FractionBelow(lim)),
-			report.FormatPct(high.Lifespans.FractionBelow(lim)))
-	}
-	return t, nil
+	return renderLifespanCDF(sw, lowThreads, highThreads)
 }
 
 // Fig1c reproduces Figure 1c: eclipse's lifetime CDF at 4 vs 48 threads
@@ -278,11 +244,8 @@ func (s *Suite) loHi() (int, int) {
 // Fig2 reproduces Figure 2: the mutator/GC time split of the scalable
 // trio across the thread sweep.
 func (s *Suite) Fig2(ctx context.Context) (*report.Table, error) {
-	t := &report.Table{
-		Title:   "Figure 2 — distribution of mutator and GC times (scalable applications)",
-		Headers: []string{"workload", "threads", "mutator", "gc", "gc-share", "minor", "full"},
-		Note:    "paper: mutator time keeps falling through 48 threads while GC time grows",
-	}
+	var labels []string
+	var sweeps []*Sweep
 	for _, name := range []string{"sunflow", "lusearch", "xalan"} {
 		if !s.hasWorkload(name) {
 			continue
@@ -291,15 +254,13 @@ func (s *Suite) Fig2(ctx context.Context) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range sw.Points {
-			r := p.Result
-			t.AddRow(name, fmt.Sprintf("%d", p.Threads),
-				r.MutatorTime.String(), r.GCTime.String(),
-				report.FormatPct(r.GCShare()),
-				fmt.Sprintf("%d", r.GCStats.MinorCount),
-				fmt.Sprintf("%d", r.GCStats.FullCount))
-		}
+		labels = append(labels, name)
+		sweeps = append(sweeps, sw)
 	}
+	t := renderMutatorGC(
+		"Figure 2 — distribution of mutator and GC times (scalable applications)",
+		"paper: mutator time keeps falling through 48 threads while GC time grows",
+		labels, sweeps)
 	return s.artifact("Fig2", t, nil)
 }
 
@@ -354,55 +315,21 @@ func (s *Suite) hasWorkload(name string) bool {
 // ClassificationTable reproduces the §II-C characterization: which
 // applications are scalable, with speedups and the paper agreement check.
 func (s *Suite) ClassificationTable(ctx context.Context) (*report.Table, error) {
-	t := &report.Table{
-		Title:   "Table — scalability classification (paper §II-C)",
-		Headers: []string{"workload", "max-speedup", "at-threads", "final-eff", "verdict", "paper", "match"},
+	labels, sweeps, err := s.workloadSweeps(ctx)
+	if err != nil {
+		return nil, err
 	}
-	for _, w := range s.cfg.Workloads {
-		sw, err := s.SweepFor(ctx, w.Name)
-		if err != nil {
-			return nil, err
-		}
-		c := sw.Classify(DefaultSpeedupThreshold)
-		verdict := map[bool]string{true: "scalable", false: "non-scalable"}
-		t.AddRow(c.Name,
-			fmt.Sprintf("%.2fx", c.MaxSpeedup),
-			fmt.Sprintf("%d", c.AtThreads),
-			fmt.Sprintf("%.2f", c.FinalEfficiency),
-			verdict[c.Scalable], verdict[c.PaperScalable],
-			map[bool]string{true: "yes", false: "NO"}[c.Matches()])
-	}
-	return s.artifact("ClassificationTable", t, nil)
+	return s.artifact("ClassificationTable", renderClassification(labels, sweeps), nil)
 }
 
 // WorkDistributionTable reproduces the §III workload-distribution
 // observation: non-scalable applications concentrate work in 3-4 threads.
 func (s *Suite) WorkDistributionTable(ctx context.Context) (*report.Table, error) {
-	t := &report.Table{
-		Title:   "Table — per-thread work distribution at the largest thread count",
-		Headers: []string{"workload", "threads", "busy-threads", "top4-share", "max/mean"},
-		Note:    "paper §III: jython uses 3-4 threads for most work; xalan/lusearch/sunflow are near-uniform",
+	labels, sweeps, err := s.workloadSweeps(ctx)
+	if err != nil {
+		return nil, err
 	}
-	for _, w := range s.cfg.Workloads {
-		sw, err := s.SweepFor(ctx, w.Name)
-		if err != nil {
-			return nil, err
-		}
-		last := sw.Points[len(sw.Points)-1]
-		shares := make([]float64, len(last.Result.PerThreadUnits))
-		busy := 0
-		for i, u := range last.Result.PerThreadUnits {
-			shares[i] = float64(u)
-			if u > 0 {
-				busy++
-			}
-		}
-		f := sw.ComputeFactors()
-		t.AddRow(w.Name, fmt.Sprintf("%d", last.Threads), fmt.Sprintf("%d", busy),
-			report.FormatPct(f.Top4Share),
-			fmt.Sprintf("%.2f", imbalance(shares)))
-	}
-	return s.artifact("WorkDistributionTable", t, nil)
+	return s.artifact("WorkDistributionTable", renderWorkDistribution(labels, sweeps), nil)
 }
 
 func imbalance(shares []float64) float64 {
@@ -422,28 +349,11 @@ func imbalance(shares []float64) float64 {
 // FactorsTable summarizes the factor decomposition for every workload —
 // the paper's analysis condensed to one row per benchmark.
 func (s *Suite) FactorsTable(ctx context.Context) (*report.Table, error) {
-	t := &report.Table{
-		Title: "Table — scalability factor decomposition",
-		Headers: []string{"workload", "amdahl-f", "acq-growth", "cont-growth",
-			"gc-growth", "gc-share", "lifespan-shift", "lifespan-ks", "top4-share"},
+	labels, sweeps, err := s.workloadSweeps(ctx)
+	if err != nil {
+		return nil, err
 	}
-	for _, w := range s.cfg.Workloads {
-		sw, err := s.SweepFor(ctx, w.Name)
-		if err != nil {
-			return nil, err
-		}
-		f := sw.ComputeFactors()
-		t.AddRow(w.Name,
-			fmt.Sprintf("%.3f", f.SequentialFraction),
-			fmt.Sprintf("%.2fx", f.AcquisitionGrowth),
-			fmt.Sprintf("%.2fx", f.ContentionGrowth),
-			fmt.Sprintf("%.2fx", f.GCTimeGrowth),
-			report.FormatPct(f.GCShareFirst)+"->"+report.FormatPct(f.GCShareLast),
-			fmt.Sprintf("%+.1fpt", 100*f.LifespanShift),
-			fmt.Sprintf("%.3f", f.LifespanKS),
-			report.FormatPct(f.Top4Share))
-	}
-	return s.artifact("FactorsTable", t, nil)
+	return s.artifact("FactorsTable", renderFactors(labels, sweeps), nil)
 }
 
 // AblationBias evaluates the paper's first future-work proposal (§IV):
@@ -470,7 +380,7 @@ func (s *Suite) AblationCompartments(ctx context.Context) (*report.Table, error)
 }
 
 func (s *Suite) ablation(ctx context.Context, title string, modify func(*vm.Config), note string) (*report.Table, error) {
-	spec, ok := workload.ByName("xalan")
+	spec, ok := workload.Lookup("xalan")
 	if !ok {
 		return nil, fmt.Errorf("core: xalan spec missing")
 	}
@@ -492,23 +402,7 @@ func (s *Suite) ablation(ctx context.Context, title string, modify func(*vm.Conf
 	if err != nil {
 		return nil, err
 	}
-
-	t := &report.Table{
-		Title:   title + fmt.Sprintf(" — xalan @ %d threads", hi),
-		Headers: []string{"metric", "baseline", "modified"},
-		Note:    note,
-	}
-	t.AddRow("total time", base.TotalTime.String(), mod.TotalTime.String())
-	t.AddRow("gc time", base.GCTime.String(), mod.GCTime.String())
-	t.AddRow("mean gc pause", meanPause(base.GCPauses).String(), meanPause(mod.GCPauses).String())
-	t.AddRow("max gc pause", maxPause(base.GCPauses).String(), maxPause(mod.GCPauses).String())
-	t.AddRow("collections", fmt.Sprintf("%d", len(base.GCPauses)), fmt.Sprintf("%d", len(mod.GCPauses)))
-	t.AddRow("lifespan cdf@1KB", report.FormatPct(base.Lifespans.FractionBelow(1024)),
-		report.FormatPct(mod.Lifespans.FractionBelow(1024)))
-	t.AddRow("mean lifespan", formatBytes(int64(base.Lifespans.Mean())), formatBytes(int64(mod.Lifespans.Mean())))
-	t.AddRow("lock contentions", report.FormatCount(base.LockContentions), report.FormatCount(mod.LockContentions))
-	t.AddRow("utilization", fmt.Sprintf("%.2f", base.Utilization), fmt.Sprintf("%.2f", mod.Utilization))
-	return t, nil
+	return renderCompare(title+fmt.Sprintf(" — xalan @ %d threads", hi), note, base, mod), nil
 }
 
 func meanPause(ps []gc.Pause) sim.Time {
@@ -544,21 +438,15 @@ func formatBytes(b int64) string {
 }
 
 // AllArtifacts regenerates every figure and table of the reproduction, in
-// the paper's order. A canceled context stops the batch at the next
-// artifact (and aborts the in-flight sweeps promptly).
+// the paper's order, by executing the declarative PaperPlan through the
+// suite's engine: all sweeps dispatch concurrently through the bounded
+// pool, identical points are memoized, and a canceled context aborts the
+// in-flight sweeps promptly. The rendered tables are byte-identical to
+// calling the individual figure/table methods.
 func (s *Suite) AllArtifacts(ctx context.Context) ([]*report.Table, error) {
-	gens := []func(context.Context) (*report.Table, error){
-		s.Fig1a, s.Fig1b, s.Fig1c, s.Fig1d, s.Fig2,
-		s.ClassificationTable, s.WorkDistributionTable, s.FactorsTable,
-		s.AblationBias, s.AblationCompartments,
+	pr, err := s.eng.RunPlan(ctx, PaperPlan(s.cfg))
+	if err != nil {
+		return nil, err
 	}
-	var out []*report.Table
-	for _, g := range gens {
-		t, err := g(ctx)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-	}
-	return out, nil
+	return pr.Reports, nil
 }

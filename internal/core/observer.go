@@ -27,6 +27,12 @@ const (
 	// ArtifactRendered fires when a suite figure, table, or study has been
 	// generated; Artifact names it.
 	ArtifactRendered
+	// ScenarioDone fires when a plan scenario's sweeps and outputs are
+	// complete; Scenario names it.
+	ScenarioDone
+	// PlanDone fires when a whole plan — every scenario and report — has
+	// executed; Plan names it.
+	PlanDone
 )
 
 // String returns the kind's wire-stable name.
@@ -44,6 +50,10 @@ func (k EventKind) String() string {
 		return "sweep-done"
 	case ArtifactRendered:
 		return "artifact-rendered"
+	case ScenarioDone:
+		return "scenario-done"
+	case PlanDone:
+		return "plan-done"
 	default:
 		return fmt.Sprintf("event-kind-%d", int(k))
 	}
@@ -64,6 +74,10 @@ type Event struct {
 	VirtualTime sim.Time
 	// Artifact names the rendered figure/table for ArtifactRendered.
 	Artifact string
+	// Scenario names the completed scenario for ScenarioDone.
+	Scenario string
+	// Plan names the completed plan for PlanDone.
+	Plan string
 	// Err is the failure of a finished run, nil on success.
 	Err error
 }
@@ -80,6 +94,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s %s t=%d virtual=%v", e.Kind, e.Workload, e.Threads, e.VirtualTime)
 	case SweepDone:
 		return fmt.Sprintf("%s %s", e.Kind, e.Workload)
+	case ScenarioDone:
+		return fmt.Sprintf("%s %s (%s)", e.Kind, e.Scenario, e.Workload)
+	case PlanDone:
+		return fmt.Sprintf("%s %s", e.Kind, e.Plan)
 	default:
 		return fmt.Sprintf("%s %s t=%d", e.Kind, e.Workload, e.Threads)
 	}

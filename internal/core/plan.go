@@ -1,0 +1,811 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"javasim/internal/report"
+	"javasim/internal/sim"
+	"javasim/internal/vm"
+	"javasim/internal/workload"
+)
+
+// This file is the declarative plan layer: experiments as data. A
+// Scenario describes one experiment — a workload reference, thread
+// counts, config overrides, repeats — and a Plan is an ordered set of
+// scenarios plus the cross-scenario reports rendered from them.
+// Plans round-trip through JSON, so whole experiment matrices live in
+// files (cmd/javasim -plan) and the paper's own figure suite is just a
+// built-in plan (PaperPlan).
+
+// Output names a per-scenario artifact rendered from the scenario's own
+// sweeps.
+type Output string
+
+const (
+	// OutputSweep renders the headline measurements at every thread count.
+	OutputSweep Output = "sweep"
+	// OutputClassification renders the scenario's §II-C scalability verdict.
+	OutputClassification Output = "classification"
+	// OutputFactors renders the scenario's factor decomposition.
+	OutputFactors Output = "factors"
+	// OutputLifespanCDF renders the lifespan CDF at the scenario's lowest
+	// and highest thread counts (the Figure 1c/1d panel).
+	OutputLifespanCDF Output = "lifespan-cdf"
+	// OutputReplication summarizes metric spread across the scenario's
+	// repeats; it requires Repeats >= 2.
+	OutputReplication Output = "replication"
+)
+
+var validOutputs = map[Output]bool{
+	OutputSweep: true, OutputClassification: true, OutputFactors: true,
+	OutputLifespanCDF: true, OutputReplication: true,
+}
+
+// ConfigOverrides is the serializable subset of vm.Config a scenario may
+// override — the ablation deltas of the paper's studies. The zero value
+// of every field means "leave the default".
+type ConfigOverrides struct {
+	// HeapFactor overrides the heap multiple (paper default 3x).
+	HeapFactor float64 `json:",omitempty"`
+	// Compartments enables the compartmentalized heap (§IV suggestion 2).
+	Compartments int `json:",omitempty"`
+	// BiasGroups/BiasPhase enable phase-biased scheduling (§IV suggestion
+	// 1). BiasPhase is virtual nanoseconds; zero with BiasGroups set
+	// selects 2ms.
+	BiasGroups int      `json:",omitempty"`
+	BiasPhase  sim.Time `json:",omitempty"`
+	// GCWorkers overrides the parallel collector's thread count.
+	GCWorkers int `json:",omitempty"`
+	// TenuringThreshold overrides the survivor-promotion age.
+	TenuringThreshold int `json:",omitempty"`
+	// ConcurrentGC selects the CMS-style concurrent collector;
+	// GCTriggerRatio sets its occupancy trigger.
+	ConcurrentGC   bool    `json:",omitempty"`
+	GCTriggerRatio float64 `json:",omitempty"`
+	// Pretenuring enables the allocation-site pretenuring learner.
+	Pretenuring bool `json:",omitempty"`
+	// Iterations repeats the workload inside one JVM, DaCapo-style.
+	Iterations int `json:",omitempty"`
+}
+
+// apply writes the non-zero overrides onto a vm.Config.
+func (o *ConfigOverrides) apply(cfg *vm.Config) {
+	if o == nil {
+		return
+	}
+	if o.HeapFactor != 0 {
+		cfg.HeapFactor = o.HeapFactor
+	}
+	if o.Compartments != 0 {
+		cfg.Compartments = o.Compartments
+	}
+	if o.BiasGroups != 0 {
+		cfg.Sched.Bias.Groups = o.BiasGroups
+		cfg.Sched.Bias.PhaseLength = o.BiasPhase
+		if cfg.Sched.Bias.PhaseLength <= 0 {
+			cfg.Sched.Bias.PhaseLength = 2 * sim.Millisecond
+		}
+	}
+	if o.GCWorkers != 0 {
+		cfg.GC.Workers = o.GCWorkers
+	}
+	if o.TenuringThreshold != 0 {
+		cfg.GC.TenuringThreshold = uint8(o.TenuringThreshold)
+	}
+	if o.ConcurrentGC {
+		cfg.GC.Concurrent = true
+	}
+	if o.GCTriggerRatio != 0 {
+		cfg.GC.TriggerRatio = o.GCTriggerRatio
+	}
+	if o.Pretenuring {
+		cfg.Pretenuring = true
+	}
+	if o.Iterations != 0 {
+		cfg.Iterations = o.Iterations
+	}
+}
+
+// validate reports structurally impossible overrides.
+func (o *ConfigOverrides) validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.HeapFactor < 0 {
+		return fmt.Errorf("HeapFactor = %v", o.HeapFactor)
+	}
+	if o.Compartments < 0 || o.BiasGroups < 0 || o.GCWorkers < 0 || o.Iterations < 0 {
+		return fmt.Errorf("negative override")
+	}
+	if o.TenuringThreshold < 0 || o.TenuringThreshold > 255 {
+		return fmt.Errorf("TenuringThreshold = %d", o.TenuringThreshold)
+	}
+	if o.BiasPhase < 0 {
+		return fmt.Errorf("BiasPhase = %v", o.BiasPhase)
+	}
+	if o.BiasPhase != 0 && o.BiasGroups == 0 {
+		return fmt.Errorf("BiasPhase set without BiasGroups")
+	}
+	if o.GCTriggerRatio < 0 || o.GCTriggerRatio > 1 {
+		return fmt.Errorf("GCTriggerRatio = %v", o.GCTriggerRatio)
+	}
+	return nil
+}
+
+// Scenario declaratively describes one experiment: sweep a workload
+// across thread counts under a (possibly overridden) JVM configuration,
+// optionally repeated under derived seeds. Zero-valued fields inherit the
+// enclosing plan's defaults.
+type Scenario struct {
+	// Name identifies the scenario; reports reference scenarios by it and
+	// it labels the scenario's rows and tables. Required, unique in plan.
+	Name string
+	// Workload references a registered workload by name or carries an
+	// inline spec.
+	Workload workload.Ref
+	// ThreadCounts to sweep, ascending; nil inherits the plan's (and
+	// ultimately the paper's {4,8,16,24,32,48}).
+	ThreadCounts []int `json:",omitempty"`
+	// Scale shrinks the workload (0 < Scale <= 1); 0 inherits the plan's.
+	Scale float64 `json:",omitempty"`
+	// Seed drives the scenario's randomness; 0 inherits the plan's.
+	Seed uint64 `json:",omitempty"`
+	// Repeats runs the whole sweep this many times under derived seeds
+	// (repeat i uses Seed + i*1000, so repeat 0 shares cache entries with
+	// unrepeated scenarios of the same seed). 0 means 1.
+	Repeats int `json:",omitempty"`
+	// Overrides are the scenario's JVM-config deltas.
+	Overrides *ConfigOverrides `json:",omitempty"`
+	// Outputs are the per-scenario artifacts to render.
+	Outputs []Output `json:",omitempty"`
+}
+
+// validate checks one scenario against the plan's defaults.
+func (sc *Scenario) validate(p *Plan) error {
+	if sc.Name == "" {
+		return fmt.Errorf("core: scenario with empty name")
+	}
+	if _, err := sc.Workload.Resolve(); err != nil {
+		return fmt.Errorf("core: scenario %q: %w", sc.Name, err)
+	}
+	if err := validThreadCounts(sc.ThreadCounts); err != nil {
+		return fmt.Errorf("core: scenario %q: %w", sc.Name, err)
+	}
+	if sc.Scale < 0 || sc.Scale > 1 {
+		return fmt.Errorf("core: scenario %q: scale %v outside (0,1]", sc.Name, sc.Scale)
+	}
+	if sc.Repeats < 0 {
+		return fmt.Errorf("core: scenario %q: repeats %d", sc.Name, sc.Repeats)
+	}
+	if err := sc.Overrides.validate(); err != nil {
+		return fmt.Errorf("core: scenario %q: overrides: %w", sc.Name, err)
+	}
+	for _, out := range sc.Outputs {
+		if !validOutputs[out] {
+			return fmt.Errorf("core: scenario %q: unknown output %q", sc.Name, out)
+		}
+		if out == OutputReplication && sc.repeats() < 2 {
+			return fmt.Errorf("core: scenario %q: replication output needs Repeats >= 2", sc.Name)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) threadCounts(p *Plan) []int {
+	switch {
+	case len(sc.ThreadCounts) > 0:
+		return sc.ThreadCounts
+	case len(p.ThreadCounts) > 0:
+		return p.ThreadCounts
+	default:
+		return DefaultThreadCounts
+	}
+}
+
+func (sc *Scenario) scale(p *Plan) float64 {
+	switch {
+	case sc.Scale != 0:
+		return sc.Scale
+	case p.Scale != 0:
+		return p.Scale
+	default:
+		return 1
+	}
+}
+
+func (sc *Scenario) seed(p *Plan) uint64 {
+	switch {
+	case sc.Seed != 0:
+		return sc.Seed
+	case p.Seed != 0:
+		return p.Seed
+	default:
+		return 42
+	}
+}
+
+func (sc *Scenario) repeats() int {
+	if sc.Repeats < 1 {
+		return 1
+	}
+	return sc.Repeats
+}
+
+// validThreadCounts requires strictly ascending positive counts: every
+// downstream analysis (speedup baselines, "largest thread count" tables,
+// lifespan low/high panels) reads the first point as the lowest count
+// and the last as the highest.
+func validThreadCounts(counts []int) error {
+	for i, n := range counts {
+		if n < 1 {
+			return fmt.Errorf("thread count %d", n)
+		}
+		if i > 0 && n <= counts[i-1] {
+			return fmt.Errorf("thread counts must be strictly ascending (%d after %d)", n, counts[i-1])
+		}
+	}
+	return nil
+}
+
+// deriveSeed derives the seed of repeat i from a scenario's base seed.
+// Repeat 0 is the base seed itself, so a repeated scenario's first sweep
+// shares memoized results with unrepeated scenarios at the same seed.
+func deriveSeed(base uint64, i int) uint64 { return base + uint64(i)*1000 }
+
+// ReportKind names a cross-scenario report shape.
+type ReportKind string
+
+const (
+	// ReportSeries renders one metric per (scenario, thread count) — the
+	// Figure 1a/1b shape.
+	ReportSeries ReportKind = "series"
+	// ReportLifespanCDF renders one scenario's lifespan CDF at a low and
+	// a high thread count — the Figure 1c/1d shape.
+	ReportLifespanCDF ReportKind = "lifespan-cdf"
+	// ReportMutatorGC renders the mutator/GC split of each scenario at
+	// every thread count — the Figure 2 shape.
+	ReportMutatorGC ReportKind = "mutator-gc"
+	// ReportClassification renders the §II-C verdict per scenario.
+	ReportClassification ReportKind = "classification"
+	// ReportWorkDistribution renders the §III per-thread work spread.
+	ReportWorkDistribution ReportKind = "work-distribution"
+	// ReportFactors renders the factor decomposition per scenario.
+	ReportFactors ReportKind = "factors"
+	// ReportCompare contrasts two scenarios' results at their largest
+	// thread counts — the ablation shape.
+	ReportCompare ReportKind = "compare"
+)
+
+// Metric selects the number a series report extracts from each sweep
+// point.
+type Metric string
+
+const (
+	MetricAcquisitions   Metric = "acquisitions"
+	MetricContentions    Metric = "contentions"
+	MetricTotalSeconds   Metric = "total-seconds"
+	MetricMutatorSeconds Metric = "mutator-seconds"
+	MetricGCSeconds      Metric = "gc-seconds"
+	MetricGCShare        Metric = "gc-share"
+	MetricCDFBelow1KB    Metric = "cdf-below-1kb"
+)
+
+var validMetrics = map[Metric]bool{
+	MetricAcquisitions: true, MetricContentions: true, MetricTotalSeconds: true,
+	MetricMutatorSeconds: true, MetricGCSeconds: true, MetricGCShare: true,
+	MetricCDFBelow1KB: true,
+}
+
+// ReportSpec declares one cross-scenario artifact of a plan.
+type ReportSpec struct {
+	// Name identifies the rendered artifact (progress events and
+	// PlanResult lookups use it). Required, unique in plan.
+	Name string
+	// Kind selects the report shape.
+	Kind ReportKind
+	// Title overrides the report's default title. For lifespan-cdf it is
+	// a prefix joined to the generated panel title with " — ".
+	Title string `json:",omitempty"`
+	// Note is the table's footnote.
+	Note string `json:",omitempty"`
+	// Key is the series row-key header; default "scenario".
+	Key string `json:",omitempty"`
+	// Metric selects the series number.
+	Metric Metric `json:",omitempty"`
+	// Scenarios are the contributing scenario names, in row order; empty
+	// means every scenario in plan order. lifespan-cdf takes exactly one.
+	Scenarios []string `json:",omitempty"`
+	// LowThreads/HighThreads pick the lifespan-cdf panel's two counts;
+	// zero selects the scenario's first/last thread count.
+	LowThreads  int `json:",omitempty"`
+	HighThreads int `json:",omitempty"`
+	// Baseline and Modified name the two scenarios of a compare report.
+	Baseline string `json:",omitempty"`
+	Modified string `json:",omitempty"`
+}
+
+// validate checks a report against the plan's scenario set.
+func (rs *ReportSpec) validate(scenarios map[string]bool) error {
+	if rs.Name == "" {
+		return fmt.Errorf("core: report with empty name")
+	}
+	ref := func(name string) error {
+		if !scenarios[name] {
+			return fmt.Errorf("core: report %q references unknown scenario %q", rs.Name, name)
+		}
+		return nil
+	}
+	for _, n := range rs.Scenarios {
+		if err := ref(n); err != nil {
+			return err
+		}
+	}
+	switch rs.Kind {
+	case ReportSeries, ReportLifespanCDF, ReportMutatorGC, ReportClassification,
+		ReportWorkDistribution, ReportFactors, ReportCompare:
+	default:
+		return fmt.Errorf("core: report %q: unknown kind %q", rs.Name, rs.Kind)
+	}
+	// Fields that only apply to one kind are rejected elsewhere, so a
+	// setting that would be silently ignored surfaces at validation time.
+	inapplicable := func(field string, set bool, kind ReportKind) error {
+		if set && rs.Kind != kind {
+			return fmt.Errorf("core: report %q: %s only applies to %q reports", rs.Name, field, kind)
+		}
+		return nil
+	}
+	for _, err := range []error{
+		inapplicable("Metric", rs.Metric != "", ReportSeries),
+		inapplicable("Key", rs.Key != "", ReportSeries),
+		inapplicable("LowThreads/HighThreads", rs.LowThreads != 0 || rs.HighThreads != 0, ReportLifespanCDF),
+		inapplicable("Baseline/Modified", rs.Baseline != "" || rs.Modified != "", ReportCompare),
+	} {
+		if err != nil {
+			return err
+		}
+	}
+	switch rs.Kind {
+	case ReportSeries:
+		if !validMetrics[rs.Metric] {
+			return fmt.Errorf("core: report %q: unknown metric %q", rs.Name, rs.Metric)
+		}
+	case ReportLifespanCDF:
+		if len(rs.Scenarios) != 1 {
+			return fmt.Errorf("core: report %q: lifespan-cdf takes exactly one scenario", rs.Name)
+		}
+	case ReportMutatorGC, ReportClassification, ReportWorkDistribution, ReportFactors:
+	case ReportCompare:
+		if rs.Baseline == "" || rs.Modified == "" {
+			return fmt.Errorf("core: report %q: compare needs Baseline and Modified", rs.Name)
+		}
+		if err := ref(rs.Baseline); err != nil {
+			return err
+		}
+		if err := ref(rs.Modified); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Plan is an ordered set of scenarios plus the reports rendered across
+// them — a whole experiment matrix as one serializable value.
+type Plan struct {
+	// Name labels the plan in progress events and results.
+	Name string `json:",omitempty"`
+	// Seed, Scale, and ThreadCounts are the defaults scenarios inherit.
+	Seed         uint64  `json:",omitempty"`
+	Scale        float64 `json:",omitempty"`
+	ThreadCounts []int   `json:",omitempty"`
+	// Scenarios are the experiments, executed through the engine's pool.
+	Scenarios []Scenario
+	// Reports are the cross-scenario artifacts, rendered in order once
+	// every scenario has run.
+	Reports []ReportSpec `json:",omitempty"`
+}
+
+// Validate reports structural errors: missing or duplicate scenario
+// names, unresolvable workload references, unknown outputs, metrics, or
+// report kinds, and reports referencing absent scenarios.
+func (p *Plan) Validate() error {
+	if len(p.Scenarios) == 0 {
+		return fmt.Errorf("core: plan %q has no scenarios", p.Name)
+	}
+	if p.Scale < 0 || p.Scale > 1 {
+		return fmt.Errorf("core: plan %q: scale %v outside (0,1]", p.Name, p.Scale)
+	}
+	if err := validThreadCounts(p.ThreadCounts); err != nil {
+		return fmt.Errorf("core: plan %q: %w", p.Name, err)
+	}
+	names := make(map[string]bool, len(p.Scenarios))
+	for i := range p.Scenarios {
+		sc := &p.Scenarios[i]
+		if err := sc.validate(p); err != nil {
+			return err
+		}
+		if names[sc.Name] {
+			return fmt.Errorf("core: duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+	}
+	reports := make(map[string]bool, len(p.Reports))
+	for i := range p.Reports {
+		rs := &p.Reports[i]
+		if err := rs.validate(names); err != nil {
+			return err
+		}
+		if reports[rs.Name] {
+			return fmt.Errorf("core: duplicate report name %q", rs.Name)
+		}
+		reports[rs.Name] = true
+		switch rs.Kind {
+		case ReportSeries:
+			if err := p.checkSeriesCounts(rs); err != nil {
+				return err
+			}
+		case ReportLifespanCDF:
+			if err := p.checkCDFThreads(rs); err != nil {
+				return err
+			}
+		case ReportCompare:
+			if err := p.checkCompareThreads(rs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkCompareThreads rejects compare reports whose two scenarios top out
+// at different thread counts: the contrast would mix a config delta with
+// a thread-count delta and silently mislead.
+func (p *Plan) checkCompareThreads(rs *ReportSpec) error {
+	top := func(name string) int {
+		for i := range p.Scenarios {
+			if p.Scenarios[i].Name == name {
+				counts := p.Scenarios[i].threadCounts(p)
+				return counts[len(counts)-1]
+			}
+		}
+		return 0
+	}
+	b, m := top(rs.Baseline), top(rs.Modified)
+	if b != m {
+		return fmt.Errorf("core: report %q: baseline %q tops out at %d threads but modified %q at %d — compare contrasts the largest points, which must match",
+			rs.Name, rs.Baseline, b, rs.Modified, m)
+	}
+	return nil
+}
+
+// checkCDFThreads rejects lifespan-cdf reports whose explicit low/high
+// thread counts are not points of their scenario's sweep — the sweep
+// counts are known statically, so the typo surfaces before simulating.
+func (p *Plan) checkCDFThreads(rs *ReportSpec) error {
+	var counts []int
+	for i := range p.Scenarios {
+		if p.Scenarios[i].Name == rs.Scenarios[0] {
+			counts = p.Scenarios[i].threadCounts(p)
+		}
+	}
+	for _, want := range []int{rs.LowThreads, rs.HighThreads} {
+		if want == 0 {
+			continue
+		}
+		found := false
+		for _, n := range counts {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: report %q: thread count %d not in scenario %q's sweep %v",
+				rs.Name, want, rs.Scenarios[0], counts)
+		}
+	}
+	return nil
+}
+
+// reportScenarios resolves which scenarios feed a report: its explicit
+// list, or every scenario in plan order when the list is empty. Both
+// validation and rendering use this one rule.
+func (p *Plan) reportScenarios(rs *ReportSpec) []string {
+	if len(rs.Scenarios) > 0 {
+		return rs.Scenarios
+	}
+	names := make([]string, len(p.Scenarios))
+	for i := range p.Scenarios {
+		names[i] = p.Scenarios[i].Name
+	}
+	return names
+}
+
+// checkSeriesCounts rejects series reports whose scenarios sweep
+// different thread counts: their rows would not share columns.
+func (p *Plan) checkSeriesCounts(rs *ReportSpec) error {
+	byName := make(map[string]*Scenario, len(p.Scenarios))
+	for i := range p.Scenarios {
+		byName[p.Scenarios[i].Name] = &p.Scenarios[i]
+	}
+	picked := p.reportScenarios(rs)
+	var first []int
+	for i, name := range picked {
+		counts := byName[name].threadCounts(p)
+		if i == 0 {
+			first = counts
+			continue
+		}
+		same := len(counts) == len(first)
+		for j := 0; same && j < len(counts); j++ {
+			same = counts[j] == first[j]
+		}
+		if !same {
+			return fmt.Errorf("core: report %q: scenario %q sweeps %v but %q sweeps %v — series rows must share thread counts",
+				rs.Name, picked[0], first, name, counts)
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the plan as indented JSON — the plan-file format
+// cmd/javasim -plan reads.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// LoadPlan reads and validates a plan from JSON. Unknown fields are
+// rejected so typos in hand-written plan files surface immediately.
+func LoadPlan(r io.Reader) (*Plan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decode plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ScenarioResult is one scenario's execution record.
+type ScenarioResult struct {
+	// Name is the scenario name; Workload the resolved spec name.
+	Name     string
+	Workload string
+	// Sweeps holds one sweep per repeat, repeat 0 first.
+	Sweeps []*Sweep
+	// Tables are the scenario's rendered Outputs, in declaration order.
+	Tables []*report.Table
+}
+
+// Sweep returns the first repeat's sweep — the scenario's primary result.
+func (r *ScenarioResult) Sweep() *Sweep { return r.Sweeps[0] }
+
+// PlanResult is the complete outcome of Engine.RunPlan.
+type PlanResult struct {
+	// Plan is the executed plan's name.
+	Plan string
+	// Scenarios hold per-scenario results, in plan order.
+	Scenarios []*ScenarioResult
+	// Reports are the plan's cross-scenario tables, in plan order.
+	Reports []*report.Table
+}
+
+// Scenario returns the named scenario's result, or nil.
+func (pr *PlanResult) Scenario(name string) *ScenarioResult {
+	for _, r := range pr.Scenarios {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Tables returns every rendered table — scenario outputs in plan order,
+// then the cross-scenario reports.
+func (pr *PlanResult) Tables() []*report.Table {
+	var out []*report.Table
+	for _, r := range pr.Scenarios {
+		out = append(out, r.Tables...)
+	}
+	return append(out, pr.Reports...)
+}
+
+// RunPlan validates and executes a declarative plan: scenarios run
+// concurrently through the engine's bounded worker pool (identical points
+// across overlapping scenarios are deduplicated and memoized by the
+// run cache), progress streams to the engine's observers, and the plan's
+// reports are rendered once every scenario has finished. A canceled
+// context aborts the in-flight sweeps and returns the context's error.
+func (e *Engine) RunPlan(ctx context.Context, p *Plan) (*PlanResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Scenarios run concurrently; the first real failure cancels the
+	// siblings so a doomed plan does not simulate its whole remaining
+	// matrix before reporting the error.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*ScenarioResult, len(p.Scenarios))
+	var (
+		wg        sync.WaitGroup
+		failOnce  sync.Once
+		firstErr  error
+		firstName string
+	)
+	for i := range p.Scenarios {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			results[i], err = e.runScenario(runCtx, p, &p.Scenarios[i])
+			if err != nil {
+				failOnce.Do(func() {
+					firstErr, firstName = err, p.Scenarios[i].Name
+					cancel()
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("core: scenario %s: %w", firstName, firstErr)
+	}
+	pr := &PlanResult{Plan: p.Name, Scenarios: results}
+	byName := make(map[string]*ScenarioResult, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	for i := range p.Reports {
+		rs := &p.Reports[i]
+		t, err := renderReport(p, rs, byName)
+		if err != nil {
+			return nil, err
+		}
+		pr.Reports = append(pr.Reports, t)
+		e.emit(Event{Kind: ArtifactRendered, Artifact: rs.Name})
+	}
+	e.emit(Event{Kind: PlanDone, Plan: p.Name})
+	return pr, nil
+}
+
+// runScenario executes one scenario's repeats and renders its outputs.
+func (e *Engine) runScenario(ctx context.Context, p *Plan, sc *Scenario) (*ScenarioResult, error) {
+	spec, err := sc.Workload.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if scale := sc.scale(p); scale != 1 {
+		spec = spec.Scale(scale)
+	}
+	counts := sc.threadCounts(p)
+	seed := sc.seed(p)
+	base := vm.Config{Seed: seed}
+	sc.Overrides.apply(&base)
+
+	res := &ScenarioResult{Name: sc.Name, Workload: spec.Name}
+	for i := 0; i < sc.repeats(); i++ {
+		cfg := base
+		cfg.Seed = deriveSeed(seed, i)
+		sw, err := e.Sweep(ctx, spec, SweepConfig{ThreadCounts: counts, Base: cfg})
+		if err != nil {
+			return nil, err
+		}
+		res.Sweeps = append(res.Sweeps, sw)
+	}
+	for _, out := range sc.Outputs {
+		t, err := renderOutput(sc, out, res.Sweeps)
+		if err != nil {
+			return nil, err
+		}
+		res.Tables = append(res.Tables, t)
+	}
+	e.emit(Event{Kind: ScenarioDone, Scenario: sc.Name, Workload: spec.Name, Seed: seed})
+	return res, nil
+}
+
+// renderOutput renders one per-scenario artifact.
+func renderOutput(sc *Scenario, out Output, sweeps []*Sweep) (*report.Table, error) {
+	sw := sweeps[0]
+	switch out {
+	case OutputSweep:
+		return renderSweepTable(sc.Name, sw), nil
+	case OutputClassification:
+		return renderClassification([]string{sc.Name}, []*Sweep{sw}), nil
+	case OutputFactors:
+		return renderFactors([]string{sc.Name}, []*Sweep{sw}), nil
+	case OutputLifespanCDF:
+		lo := sw.Points[0].Threads
+		hi := sw.Points[len(sw.Points)-1].Threads
+		return renderLifespanCDF(sw, lo, hi)
+	case OutputReplication:
+		return renderReplication(sc.Name, sweeps), nil
+	default:
+		return nil, fmt.Errorf("core: unknown output %q", out)
+	}
+}
+
+// renderReport renders one cross-scenario report from the finished
+// scenario results.
+func renderReport(p *Plan, rs *ReportSpec, byName map[string]*ScenarioResult) (*report.Table, error) {
+	picked := p.reportScenarios(rs)
+	sweeps := make([]*Sweep, len(picked))
+	for i, name := range picked {
+		sweeps[i] = byName[name].Sweep()
+	}
+
+	var t *report.Table
+	switch rs.Kind {
+	case ReportSeries:
+		key := rs.Key
+		if key == "" {
+			key = "scenario"
+		}
+		title := rs.Title
+		if title == "" {
+			title = fmt.Sprintf("%s vs threads", rs.Metric)
+		}
+		var err error
+		t, err = renderSeries(title, key, picked, sweeps, rs.Metric)
+		if err != nil {
+			return nil, err
+		}
+	case ReportLifespanCDF:
+		sw := sweeps[0]
+		lo, hi := rs.LowThreads, rs.HighThreads
+		if lo == 0 {
+			lo = sw.Points[0].Threads
+		}
+		if hi == 0 {
+			hi = sw.Points[len(sw.Points)-1].Threads
+		}
+		var err error
+		t, err = renderLifespanCDF(sw, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		if rs.Title != "" {
+			t.Title = rs.Title + " — " + t.Title
+		}
+	case ReportMutatorGC:
+		title := rs.Title
+		if title == "" {
+			title = "Mutator and GC time split"
+		}
+		t = renderMutatorGC(title, rs.Note, picked, sweeps)
+	case ReportClassification:
+		t = renderClassification(picked, sweeps)
+	case ReportWorkDistribution:
+		t = renderWorkDistribution(picked, sweeps)
+	case ReportFactors:
+		t = renderFactors(picked, sweeps)
+	case ReportCompare:
+		title := rs.Title
+		if title == "" {
+			title = fmt.Sprintf("Compare — %s vs %s", rs.Baseline, rs.Modified)
+		}
+		base := byName[rs.Baseline].Sweep()
+		mod := byName[rs.Modified].Sweep()
+		t = renderCompare(title, rs.Note,
+			base.Points[len(base.Points)-1].Result,
+			mod.Points[len(mod.Points)-1].Result)
+	default:
+		return nil, fmt.Errorf("core: unknown report kind %q", rs.Kind)
+	}
+	if rs.Title != "" && rs.Kind != ReportLifespanCDF {
+		t.Title = rs.Title
+	}
+	if rs.Note != "" {
+		t.Note = rs.Note
+	}
+	return t, nil
+}

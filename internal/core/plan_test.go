@@ -1,0 +1,280 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"javasim/internal/workload"
+)
+
+// testPlan is a small two-scenario plan used by the serialization tests.
+func testPlan() *Plan {
+	return &Plan{
+		Name:         "test-plan",
+		Seed:         7,
+		Scale:        0.02,
+		ThreadCounts: []int{2, 4},
+		Scenarios: []Scenario{
+			{Name: "base", Workload: workload.NameRef("xalan"), Outputs: []Output{OutputSweep}},
+			{Name: "small-heap", Workload: workload.NameRef("xalan"),
+				Overrides: &ConfigOverrides{HeapFactor: 1.5}},
+			{Name: "inline", Workload: workload.SpecRef(workload.JythonSpec()),
+				ThreadCounts: []int{2}, Repeats: 2, Outputs: []Output{OutputReplication}},
+		},
+		Reports: []ReportSpec{
+			{Name: "gc", Kind: ReportSeries, Metric: MetricGCSeconds,
+				Scenarios: []string{"base", "small-heap"}},
+			{Name: "heap", Kind: ReportCompare, Baseline: "base", Modified: "small-heap",
+				Title: "heap ablation"},
+			{Name: "class", Kind: ReportClassification,
+				Scenarios: []string{"base", "small-heap"}},
+		},
+	}
+}
+
+// TestPlanJSONRoundTripStable asserts encode→decode→encode is
+// byte-stable, so plan files survive rewriting.
+func TestPlanJSONRoundTripStable(t *testing.T) {
+	p := testPlan()
+	var first bytes.Buffer
+	if err := p.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := LoadPlan(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := decoded.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("encode not stable:\n--- first\n%s\n--- second\n%s", first.String(), second.String())
+	}
+	if decoded.Scenarios[2].Workload.Spec == nil {
+		t.Error("inline workload lost in round trip")
+	}
+	if decoded.Scenarios[1].Overrides == nil || decoded.Scenarios[1].Overrides.HeapFactor != 1.5 {
+		t.Error("overrides lost in round trip")
+	}
+}
+
+func TestLoadPlanRejectsUnknownFieldsAndBadRefs(t *testing.T) {
+	if _, err := LoadPlan(strings.NewReader(`{"Scenarios":[],"Typo":1}`)); err == nil {
+		t.Error("unknown top-level field accepted")
+	}
+	bad := `{"Scenarios":[{"Name":"a","Workload":"no-such-workload"}]}`
+	_, err := LoadPlan(strings.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "no-such-workload") {
+		t.Errorf("unknown workload reference error = %v", err)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		warp func(*Plan)
+		want string
+	}{
+		{"no scenarios", func(p *Plan) { p.Scenarios = nil }, "no scenarios"},
+		{"empty scenario name", func(p *Plan) { p.Scenarios[0].Name = "" }, "empty name"},
+		{"duplicate scenario", func(p *Plan) { p.Scenarios[1].Name = "base" }, "duplicate scenario"},
+		{"bad thread count", func(p *Plan) { p.Scenarios[0].ThreadCounts = []int{0} }, "thread count"},
+		{"descending thread counts", func(p *Plan) {
+			p.Scenarios[0].ThreadCounts = []int{8, 4}
+		}, "strictly ascending"},
+		{"duplicate thread counts", func(p *Plan) { p.ThreadCounts = []int{4, 4} }, "strictly ascending"},
+		{"bad scale", func(p *Plan) { p.Scenarios[0].Scale = 1.5 }, "scale"},
+		{"unknown output", func(p *Plan) { p.Scenarios[0].Outputs = []Output{"bogus"} }, "unknown output"},
+		{"replication needs repeats", func(p *Plan) {
+			p.Scenarios[0].Outputs = []Output{OutputReplication}
+		}, "Repeats >= 2"},
+		{"bad override", func(p *Plan) {
+			p.Scenarios[1].Overrides = &ConfigOverrides{GCTriggerRatio: 2}
+		}, "overrides"},
+		{"unknown report kind", func(p *Plan) { p.Reports[0].Kind = "bogus" }, "unknown kind"},
+		{"unknown metric", func(p *Plan) { p.Reports[0].Metric = "bogus" }, "unknown metric"},
+		{"report on unknown scenario", func(p *Plan) {
+			p.Reports[0].Scenarios = []string{"ghost"}
+		}, "unknown scenario"},
+		{"compare missing sides", func(p *Plan) { p.Reports[1].Modified = "" }, "Baseline and Modified"},
+		{"duplicate report", func(p *Plan) { p.Reports[1].Name = "gc" }, "duplicate report"},
+		{"series over mismatched counts", func(p *Plan) {
+			p.Scenarios[1].ThreadCounts = []int{4}
+		}, "share thread counts"},
+		{"cdf threads not in sweep", func(p *Plan) {
+			p.Reports = append(p.Reports, ReportSpec{Name: "cdf", Kind: ReportLifespanCDF,
+				Scenarios: []string{"base"}, LowThreads: 3})
+		}, "not in scenario"},
+		{"metric on non-series report", func(p *Plan) {
+			p.Reports[1].Metric = MetricGCSeconds
+		}, "only applies to"},
+		{"baseline on series report", func(p *Plan) {
+			p.Reports[0].Baseline = "base"
+		}, "only applies to"},
+		{"compare over mismatched maxima", func(p *Plan) {
+			p.Scenarios[1].ThreadCounts = []int{2}
+			p.Reports[0].Scenarios = []string{"base"} // keep the series report legal
+		}, "largest points"},
+		{"bias phase without groups", func(p *Plan) {
+			p.Scenarios[1].Overrides = &ConfigOverrides{BiasPhase: 100}
+		}, "BiasPhase set without BiasGroups"},
+	}
+	for _, tc := range cases {
+		p := testPlan()
+		tc.warp(p)
+		err := p.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := testPlan().Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestRunPlanMemoization asserts that overlapping scenarios share
+// simulations through the engine's run cache: two scenarios describing
+// the same (workload, config, threads) points simulate each point once.
+func TestRunPlanMemoization(t *testing.T) {
+	eng := NewEngine(WithParallelism(2))
+	p := &Plan{
+		Seed:         5,
+		Scale:        0.02,
+		ThreadCounts: []int{2, 4},
+		Scenarios: []Scenario{
+			{Name: "a", Workload: workload.NameRef("xalan")},
+			{Name: "b", Workload: workload.NameRef("xalan")}, // identical matrix
+		},
+	}
+	pr, err := eng.RunPlan(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Simulations != 2 {
+		t.Errorf("simulations = %d, want 2 (two unique points)", st.Simulations)
+	}
+	if st.CacheHits != 2 {
+		t.Errorf("cache hits = %d, want 2 (scenario b served from cache/singleflight)", st.CacheHits)
+	}
+	// The shared points are literally the same memoized results.
+	a, b := pr.Scenario("a").Sweep(), pr.Scenario("b").Sweep()
+	for i := range a.Points {
+		if a.Points[i].Result != b.Points[i].Result {
+			t.Errorf("point %d not shared between overlapping scenarios", i)
+		}
+	}
+}
+
+func TestRunPlanOutputsReportsAndEvents(t *testing.T) {
+	var scenarios, artifacts, plans int
+	eng := NewEngine(WithObserver(ObserverFunc(func(ev Event) {
+		switch ev.Kind {
+		case ScenarioDone:
+			scenarios++
+		case ArtifactRendered:
+			artifacts++
+		case PlanDone:
+			plans++
+		}
+	})))
+	pr, err := eng.RunPlan(context.Background(), testPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scenarios != 3 || artifacts != 3 || plans != 1 {
+		t.Errorf("events: scenarios=%d artifacts=%d plans=%d", scenarios, artifacts, plans)
+	}
+	if got := len(pr.Tables()); got != 5 {
+		t.Errorf("tables = %d, want 5 (2 outputs + 3 reports)", got)
+	}
+	if pr.Reports[1].Title != "heap ablation" {
+		t.Errorf("report title = %q", pr.Reports[1].Title)
+	}
+	// Cross-scenario rows are labeled by scenario name, so two scenarios
+	// of the same workload stay distinguishable.
+	if class := pr.Reports[2]; class.Rows[0][0] != "base" || class.Rows[1][0] != "small-heap" {
+		t.Errorf("classification row labels = %q, %q; want scenario names",
+			class.Rows[0][0], class.Rows[1][0])
+	}
+	if inline := pr.Scenario("inline"); len(inline.Sweeps) != 2 {
+		t.Errorf("inline repeats = %d, want 2", len(inline.Sweeps))
+	} else if inline.Sweeps[0].Points[0].Result == inline.Sweeps[1].Points[0].Result {
+		t.Error("derived-seed repeats returned the identical result")
+	}
+	if pr.Scenario("ghost") != nil {
+		t.Error("unknown scenario lookup returned non-nil")
+	}
+}
+
+func TestRunPlanCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := NewEngine(WithParallelism(1))
+	if _, err := eng.RunPlan(ctx, testPlan()); err == nil {
+		t.Error("canceled plan succeeded")
+	}
+}
+
+// TestPaperPlanShape checks the built-in plan covers the full artifact
+// suite and round-trips through JSON like any user plan.
+func TestPaperPlanShape(t *testing.T) {
+	p := PaperPlan(ExperimentConfig{ThreadCounts: []int{2, 4}, Scale: 0.02, Seed: 1})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Scenarios) != 9 { // six workloads + three ablation scenarios
+		t.Errorf("scenarios = %d, want 9", len(p.Scenarios))
+	}
+	wantReports := []string{"Fig1a", "Fig1b", "Fig1c", "Fig1d", "Fig2",
+		"ClassificationTable", "WorkDistributionTable", "FactorsTable",
+		"AblationBias", "AblationCompartments"}
+	if len(p.Reports) != len(wantReports) {
+		t.Fatalf("reports = %d, want %d", len(p.Reports), len(wantReports))
+	}
+	for i, w := range wantReports {
+		if p.Reports[i].Name != w {
+			t.Errorf("report %d = %q, want %q", i, p.Reports[i].Name, w)
+		}
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(bytes.NewReader(data)); err != nil {
+		t.Errorf("paper plan does not round-trip: %v", err)
+	}
+}
+
+// TestSuiteMethodsMatchPlanReports asserts the imperative figure methods
+// and the declarative plan render byte-identical artifacts.
+func TestSuiteMethodsMatchPlanReports(t *testing.T) {
+	cfg := ExperimentConfig{ThreadCounts: []int{2, 4}, Scale: 0.02, Seed: 99}
+	eng := NewEngine()
+	ctx := context.Background()
+
+	pr, err := eng.RunPlan(ctx, PaperPlan(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := eng.Suite(cfg)
+	fig1a, err := suite.Fig1a(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imperative, declarative bytes.Buffer
+	if err := fig1a.WriteASCII(&imperative); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Reports[0].WriteASCII(&declarative); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(imperative.Bytes(), declarative.Bytes()) {
+		t.Errorf("Fig1a diverged:\n--- imperative\n%s\n--- declarative\n%s",
+			imperative.String(), declarative.String())
+	}
+}

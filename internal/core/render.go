@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"javasim/internal/metrics"
+	"javasim/internal/report"
+	"javasim/internal/vm"
+	"javasim/internal/workload"
+)
+
+// This file holds the rendering layer shared by the imperative Suite
+// methods and the declarative plan reports: every figure and table is a
+// pure function of one or more sweeps, so the two APIs produce
+// byte-identical artifacts from the same simulation results.
+
+// metricSeries extracts one per-point series from a sweep.
+func metricSeries(sw *Sweep, m Metric) ([]float64, error) {
+	switch m {
+	case MetricAcquisitions:
+		return sw.Acquisitions(), nil
+	case MetricContentions:
+		return sw.Contentions(), nil
+	case MetricTotalSeconds:
+		curve := sw.Curve()
+		out := make([]float64, len(curve))
+		for i, p := range curve {
+			out[i] = p.Seconds
+		}
+		return out, nil
+	case MetricMutatorSeconds:
+		return sw.MutatorSeconds(), nil
+	case MetricGCSeconds:
+		return sw.GCSeconds(), nil
+	case MetricGCShare:
+		out := make([]float64, len(sw.Points))
+		for i, p := range sw.Points {
+			out[i] = p.Result.GCShare()
+		}
+		return out, nil
+	case MetricCDFBelow1KB:
+		return sw.CDFBelow(1024), nil
+	default:
+		return nil, fmt.Errorf("core: unknown metric %q", m)
+	}
+}
+
+// metricFormat returns the cell formatter for a metric.
+func metricFormat(m Metric) func(float64) string {
+	switch m {
+	case MetricAcquisitions, MetricContentions:
+		return func(v float64) string { return report.FormatCount(int64(v)) }
+	case MetricGCShare, MetricCDFBelow1KB:
+		return report.FormatPct
+	default:
+		return func(v float64) string { return fmt.Sprintf("%.4fs", v) }
+	}
+}
+
+// threadHeaders builds the {key, "t=4", "t=8", ...} header row from a
+// sweep's points.
+func threadHeaders(key string, sw *Sweep) []string {
+	hs := []string{key}
+	for _, p := range sw.Points {
+		hs = append(hs, fmt.Sprintf("t=%d", p.Threads))
+	}
+	return hs
+}
+
+// renderSeries builds a one-number-per-(row, thread-count) table: each
+// labeled sweep becomes a row, each sweep point a column.
+func renderSeries(title, key string, labels []string, sweeps []*Sweep, m Metric) (*report.Table, error) {
+	if len(sweeps) == 0 {
+		return nil, fmt.Errorf("core: series table %q has no sweeps", title)
+	}
+	t := &report.Table{Title: title, Headers: threadHeaders(key, sweeps[0])}
+	format := metricFormat(m)
+	for i, sw := range sweeps {
+		if len(sw.Points) != len(sweeps[0].Points) {
+			return nil, fmt.Errorf("core: series table %q: %s has %d points, %s has %d — rows must share thread counts",
+				title, labels[i], len(sw.Points), labels[0], len(sweeps[0].Points))
+		}
+		series, err := metricSeries(sw, m)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{labels[i]}
+		for _, v := range series {
+			row = append(row, format(v))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// renderLifespanCDF builds a Figure 1c/1d panel: the cumulative lifespan
+// distribution of one sweep's workload at two thread counts.
+func renderLifespanCDF(sw *Sweep, lowThreads, highThreads int) (*report.Table, error) {
+	var low, high *vm.Result
+	for _, p := range sw.Points {
+		if p.Threads == lowThreads {
+			low = p.Result
+		}
+		if p.Threads == highThreads {
+			high = p.Result
+		}
+	}
+	if low == nil || high == nil {
+		return nil, fmt.Errorf("core: thread counts %d/%d not in sweep for %s",
+			lowThreads, highThreads, sw.Spec.Name)
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("%s object lifetime CDF (%% of objects with lifespan < X bytes)", sw.Spec.Name),
+		Headers: []string{"lifespan <",
+			fmt.Sprintf("%d threads", lowThreads),
+			fmt.Sprintf("%d threads", highThreads)},
+	}
+	for _, lim := range cdfLimits {
+		t.AddRow(formatBytes(lim),
+			report.FormatPct(low.Lifespans.FractionBelow(lim)),
+			report.FormatPct(high.Lifespans.FractionBelow(lim)))
+	}
+	return t, nil
+}
+
+// renderMutatorGC builds the Figure 2 table: the mutator/GC time split of
+// each labeled sweep across its thread counts, one row per point.
+func renderMutatorGC(title, note string, labels []string, sweeps []*Sweep) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"workload", "threads", "mutator", "gc", "gc-share", "minor", "full"},
+		Note:    note,
+	}
+	for i, sw := range sweeps {
+		for _, p := range sw.Points {
+			r := p.Result
+			t.AddRow(labels[i], fmt.Sprintf("%d", p.Threads),
+				r.MutatorTime.String(), r.GCTime.String(),
+				report.FormatPct(r.GCShare()),
+				fmt.Sprintf("%d", r.GCStats.MinorCount),
+				fmt.Sprintf("%d", r.GCStats.FullCount))
+		}
+	}
+	return t
+}
+
+// renderClassification builds the §II-C characterization table, one row
+// per labeled sweep. The paper columns key off the workload (the paper
+// classified benchmarks, not scenarios); the row label is the scenario's.
+func renderClassification(labels []string, sweeps []*Sweep) *report.Table {
+	t := &report.Table{
+		Title:   "Table — scalability classification (paper §II-C)",
+		Headers: []string{"workload", "max-speedup", "at-threads", "final-eff", "verdict", "paper", "match"},
+	}
+	for i, sw := range sweeps {
+		c := sw.Classify(DefaultSpeedupThreshold)
+		verdict := map[bool]string{true: "scalable", false: "non-scalable"}
+		// The paper only classified its own six benchmarks; extensions and
+		// custom workloads have no published verdict to agree with.
+		paper, match := "-", "-"
+		if workload.IsPaperBenchmark(c.Name) {
+			paper = verdict[c.PaperScalable]
+			match = map[bool]string{true: "yes", false: "NO"}[c.Matches()]
+		}
+		t.AddRow(labels[i],
+			fmt.Sprintf("%.2fx", c.MaxSpeedup),
+			fmt.Sprintf("%d", c.AtThreads),
+			fmt.Sprintf("%.2f", c.FinalEfficiency),
+			verdict[c.Scalable], paper, match)
+	}
+	return t
+}
+
+// renderWorkDistribution builds the §III work-distribution table, one row
+// per labeled sweep, from each sweep's largest thread count.
+func renderWorkDistribution(labels []string, sweeps []*Sweep) *report.Table {
+	t := &report.Table{
+		Title:   "Table — per-thread work distribution at the largest thread count",
+		Headers: []string{"workload", "threads", "busy-threads", "top4-share", "max/mean"},
+		Note:    "paper §III: jython uses 3-4 threads for most work; xalan/lusearch/sunflow are near-uniform",
+	}
+	for i, sw := range sweeps {
+		last := sw.Points[len(sw.Points)-1]
+		shares := make([]float64, len(last.Result.PerThreadUnits))
+		busy := 0
+		for j, u := range last.Result.PerThreadUnits {
+			shares[j] = float64(u)
+			if u > 0 {
+				busy++
+			}
+		}
+		f := sw.ComputeFactors()
+		t.AddRow(labels[i], fmt.Sprintf("%d", last.Threads), fmt.Sprintf("%d", busy),
+			report.FormatPct(f.Top4Share),
+			fmt.Sprintf("%.2f", imbalance(shares)))
+	}
+	return t
+}
+
+// renderFactors builds the factor-decomposition table, one row per
+// labeled sweep.
+func renderFactors(labels []string, sweeps []*Sweep) *report.Table {
+	t := &report.Table{
+		Title: "Table — scalability factor decomposition",
+		Headers: []string{"workload", "amdahl-f", "acq-growth", "cont-growth",
+			"gc-growth", "gc-share", "lifespan-shift", "lifespan-ks", "top4-share"},
+	}
+	for i, sw := range sweeps {
+		f := sw.ComputeFactors()
+		t.AddRow(labels[i],
+			fmt.Sprintf("%.3f", f.SequentialFraction),
+			fmt.Sprintf("%.2fx", f.AcquisitionGrowth),
+			fmt.Sprintf("%.2fx", f.ContentionGrowth),
+			fmt.Sprintf("%.2fx", f.GCTimeGrowth),
+			report.FormatPct(f.GCShareFirst)+"->"+report.FormatPct(f.GCShareLast),
+			fmt.Sprintf("%+.1fpt", 100*f.LifespanShift),
+			fmt.Sprintf("%.3f", f.LifespanKS),
+			report.FormatPct(f.Top4Share))
+	}
+	return t
+}
+
+// renderCompare builds a baseline-vs-modified ablation table from two
+// results of the same workload.
+func renderCompare(title, note string, base, mod *vm.Result) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"metric", "baseline", "modified"},
+		Note:    note,
+	}
+	t.AddRow("total time", base.TotalTime.String(), mod.TotalTime.String())
+	t.AddRow("gc time", base.GCTime.String(), mod.GCTime.String())
+	t.AddRow("mean gc pause", meanPause(base.GCPauses).String(), meanPause(mod.GCPauses).String())
+	t.AddRow("max gc pause", maxPause(base.GCPauses).String(), maxPause(mod.GCPauses).String())
+	t.AddRow("collections", fmt.Sprintf("%d", len(base.GCPauses)), fmt.Sprintf("%d", len(mod.GCPauses)))
+	t.AddRow("lifespan cdf@1KB", report.FormatPct(base.Lifespans.FractionBelow(1024)),
+		report.FormatPct(mod.Lifespans.FractionBelow(1024)))
+	t.AddRow("mean lifespan", formatBytes(int64(base.Lifespans.Mean())), formatBytes(int64(mod.Lifespans.Mean())))
+	t.AddRow("lock contentions", report.FormatCount(base.LockContentions), report.FormatCount(mod.LockContentions))
+	t.AddRow("utilization", fmt.Sprintf("%.2f", base.Utilization), fmt.Sprintf("%.2f", mod.Utilization))
+	return t
+}
+
+// renderSweepTable builds the per-scenario sweep summary: the headline
+// measurements at every thread count.
+func renderSweepTable(label string, sw *Sweep) *report.Table {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Sweep — %s", label),
+		Headers: []string{"threads", "total", "mutator", "gc", "gc-share", "contentions", "<1KB"},
+	}
+	for _, p := range sw.Points {
+		r := p.Result
+		t.AddRow(fmt.Sprintf("%d", p.Threads),
+			r.TotalTime.String(), r.MutatorTime.String(), r.GCTime.String(),
+			report.FormatPct(r.GCShare()),
+			report.FormatCount(r.LockContentions),
+			report.FormatPct(r.Lifespans.FractionBelow(1024)))
+	}
+	return t
+}
+
+// renderReplication summarizes a scenario's repeats: mean, stddev, and
+// range of the headline metrics at each repeat's largest thread count.
+func renderReplication(label string, sweeps []*Sweep) *report.Table {
+	var totals, gcs, cdfs, conts []float64
+	for _, sw := range sweeps {
+		last := sw.Points[len(sw.Points)-1].Result
+		totals = append(totals, last.TotalTime.Seconds()*1000)
+		gcs = append(gcs, last.GCTime.Seconds()*1000)
+		cdfs = append(cdfs, 100*last.Lifespans.FractionBelow(1024))
+		conts = append(conts, float64(last.LockContentions))
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Replication — %s, %d repeats", label, len(sweeps)),
+		Headers: []string{"metric", "mean", "stddev", "min", "max"},
+		Note:    "repeats derive their seeds from the scenario seed; the spread bounds seed sensitivity",
+	}
+	row := func(name, unit string, xs []float64) {
+		sm := metrics.Summarize(xs)
+		t.AddRow(name,
+			fmt.Sprintf("%.2f%s", sm.Mean, unit),
+			fmt.Sprintf("%.2f", sm.Stddev),
+			fmt.Sprintf("%.2f", sm.Min),
+			fmt.Sprintf("%.2f", sm.Max))
+	}
+	row("total time", "ms", totals)
+	row("gc time", "ms", gcs)
+	row("objects <1KB", "%", cdfs)
+	row("lock contentions", "", conts)
+	return t
+}

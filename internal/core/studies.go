@@ -22,7 +22,7 @@ import (
 // studySpec picks the workload and thread count for the studies: xalan at
 // the top of the sweep, where every GC effect is strongest.
 func (s *Suite) studySpec() (workload.Spec, int, error) {
-	spec, ok := workload.ByName("xalan")
+	spec, ok := workload.Lookup("xalan")
 	if !ok {
 		return workload.Spec{}, 0, fmt.Errorf("core: xalan spec missing")
 	}
@@ -154,7 +154,7 @@ func (s *Suite) StudyNUMA(ctx context.Context) (*report.Table, error) {
 // background CPU consumption (mutator dilation) plus brief bracketing
 // pauses.
 func (s *Suite) StudyCollector(ctx context.Context) (*report.Table, error) {
-	spec, ok := workload.ByName("server")
+	spec, ok := workload.Lookup("server")
 	if !ok {
 		return nil, fmt.Errorf("core: server spec missing")
 	}
@@ -245,7 +245,7 @@ func (s *Suite) StudyReplication(ctx context.Context) (*report.Table, error) {
 	}
 	var totals, gcs, cdfs, conts []float64
 	for i := 0; i < 5; i++ {
-		res, err := s.eng.Run(ctx, spec, vm.Config{Threads: threads, Seed: s.cfg.Seed + uint64(i)*1000})
+		res, err := s.eng.Run(ctx, spec, vm.Config{Threads: threads, Seed: deriveSeed(s.cfg.Seed, i)})
 		if err != nil {
 			return nil, fmt.Errorf("core: replication seed %d: %w", i, err)
 		}

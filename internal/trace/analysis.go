@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -43,9 +44,20 @@ type DetailedAnalysis struct {
 	WindowSize sim.Time
 }
 
+// ctxCheckInterval is how many streamed events the analysis loops let
+// pass between context checks — frequent enough that cancellation of a
+// huge trace analysis is prompt, rare enough to cost nothing.
+const ctxCheckInterval = 8192
+
 // AnalyzeDetailed streams a trace and computes the full analysis. The
 // churn windows use the given granularity; zero selects 1ms.
 func AnalyzeDetailed(r *Reader, window sim.Time) (*DetailedAnalysis, error) {
+	return AnalyzeDetailedContext(context.Background(), r, window)
+}
+
+// AnalyzeDetailedContext is AnalyzeDetailed with cancellation: the
+// streaming loop checks ctx every ctxCheckInterval events.
+func AnalyzeDetailedContext(ctx context.Context, r *Reader, window sim.Time) (*DetailedAnalysis, error) {
 	if window <= 0 {
 		window = sim.Millisecond
 	}
@@ -83,6 +95,11 @@ func AnalyzeDetailed(r *Reader, window sim.Time) (*DetailedAnalysis, error) {
 	}
 
 	for {
+		if a.Events%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ev, err := r.Read()
 		if errors.Is(err, io.EOF) {
 			break

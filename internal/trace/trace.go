@@ -10,6 +10,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -252,9 +253,21 @@ type Analysis struct {
 // object's Alloc and Death clocks — exactly how the paper's Figure 1c/1d
 // distributions are derived from Elephant Tracks output.
 func Analyze(r *Reader) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), r)
+}
+
+// AnalyzeContext is Analyze with cancellation: the streaming loop checks
+// ctx every ctxCheckInterval events, so analyses of arbitrarily large
+// trace files abort promptly.
+func AnalyzeContext(ctx context.Context, r *Reader) (*Analysis, error) {
 	a := &Analysis{Lifespans: metrics.NewHistogram("lifespan-bytes")}
 	births := make(map[uint32]int64)
 	for {
+		if a.Events%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ev, err := r.Read()
 		if errors.Is(err, io.EOF) {
 			break

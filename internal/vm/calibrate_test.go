@@ -15,7 +15,7 @@ func TestCalibrationProbe(t *testing.T) {
 	if os.Getenv("JAVASIM_CALIBRATE") == "" {
 		t.Skip("set JAVASIM_CALIBRATE=1 to run the calibration probe")
 	}
-	for _, spec := range workload.All() {
+	for _, spec := range workload.PaperSet() {
 		t.Logf("=== %s ===", spec.Name)
 		for _, n := range []int{4, 16, 48} {
 			res, err := Run(spec, Config{Threads: n, Seed: 7})

@@ -99,7 +99,7 @@ func TestBiasAndCompartmentsCombined(t *testing.T) {
 }
 
 func TestServerWorkloadBarrierFree(t *testing.T) {
-	spec, ok := workload.ByName("server")
+	spec, ok := workload.Lookup("server")
 	if !ok {
 		t.Fatal("server extension missing")
 	}

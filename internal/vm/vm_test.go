@@ -97,7 +97,7 @@ func TestCoresDefaultToThreads(t *testing.T) {
 }
 
 func TestAllWorkloadsRun(t *testing.T) {
-	for _, spec := range workload.All() {
+	for _, spec := range workload.PaperSet() {
 		spec := spec.Scale(0.03)
 		for _, n := range []int{1, 2, 8} {
 			res, err := Run(spec, Config{Threads: n, Seed: 5})

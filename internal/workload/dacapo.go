@@ -235,28 +235,17 @@ func JythonSpec() Spec {
 
 // All returns the six benchmark specs in the paper's order: the scalable
 // trio first, then the non-scalable trio.
-func All() []Spec {
-	return []Spec{
-		SunflowSpec(), LusearchSpec(), XalanSpec(),
-		H2Spec(), EclipseSpec(), JythonSpec(),
-	}
-}
+//
+// Deprecated: use PaperSet, which reads the same six models from the
+// workload registry.
+func All() []Spec { return PaperSet() }
 
 // ByName returns the spec with the given name — one of the paper's six
 // benchmarks or an extension workload — or false.
-func ByName(name string) (Spec, bool) {
-	for _, s := range All() {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	for _, s := range Extensions() {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return Spec{}, false
-}
+//
+// Deprecated: use Lookup, which resolves any registered workload
+// (including user registrations) by name.
+func ByName(name string) (Spec, bool) { return Lookup(name) }
 
 // Scalable reports the paper's classification for a benchmark name.
 func Scalable(name string) bool {

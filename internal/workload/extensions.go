@@ -3,8 +3,9 @@ package workload
 import "javasim/internal/sim"
 
 // Extension workloads beyond the paper's six benchmarks. They are not part
-// of All() — the paper's experiment set — but are available through
-// ByName for the future-work studies.
+// of PaperSet() — the paper's experiment set — but are registered in the
+// workload registry and resolve through Lookup for the future-work
+// studies.
 
 // ServerSpec models the "large multi-threaded server application" the
 // paper's §IV motivates for its compartmentalized-heap proposal: a
@@ -46,7 +47,18 @@ func ServerSpec() Spec {
 	}
 }
 
-// Extensions returns the workloads that extend the paper's set.
+// Extensions returns the registered workloads that extend the paper's
+// set: the bundled models beyond the six benchmarks plus any user
+// registrations.
+//
+// Deprecated: use Registered (the whole catalog) or Lookup (one
+// workload); the paper set is PaperSet.
 func Extensions() []Spec {
-	return []Spec{ServerSpec()}
+	var out []Spec
+	for _, s := range Registered() {
+		if !IsPaperBenchmark(s.Name) {
+			out = append(out, s)
+		}
+	}
+	return out
 }

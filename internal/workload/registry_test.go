@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	want := []string{"sunflow", "lusearch", "xalan", "h2", "eclipse", "jython", "server"}
+	for i, w := range want {
+		if i >= len(names) || names[i] != w {
+			t.Fatalf("Names() = %v, want prefix %v", names, want)
+		}
+	}
+	for _, w := range want {
+		s, ok := Lookup(w)
+		if !ok || s.Name != w {
+			t.Errorf("Lookup(%q) = %v, %v", w, s.Name, ok)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+}
+
+func TestRegistryPaperSet(t *testing.T) {
+	ps := PaperSet()
+	if len(ps) != 6 {
+		t.Fatalf("PaperSet() = %d specs, want 6", len(ps))
+	}
+	if ps[0].Name != "sunflow" || ps[5].Name != "jython" {
+		t.Errorf("paper order wrong: %s..%s", ps[0].Name, ps[5].Name)
+	}
+	for _, s := range ps {
+		if s.Name == "server" {
+			t.Error("extension leaked into PaperSet")
+		}
+	}
+}
+
+func TestRegisterValidatesAndRejectsDuplicates(t *testing.T) {
+	if err := Register(Spec{Name: ""}); err == nil {
+		t.Error("invalid spec registered")
+	}
+	if err := Register(XalanSpec()); err == nil {
+		t.Error("duplicate xalan registered")
+	}
+	custom := XalanSpec()
+	custom.Name = "registry-test-custom"
+	if err := Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Lookup("registry-test-custom"); !ok {
+		t.Error("registered workload not found")
+	}
+	if err := Register(custom); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate register error = %v", err)
+	}
+	// User registrations are part of the catalog but never the paper set.
+	inExt := false
+	for _, s := range Extensions() {
+		if s.Name == custom.Name {
+			inExt = true
+		}
+	}
+	if !inExt {
+		t.Error("user registration missing from Extensions()")
+	}
+}
+
+func TestRefResolve(t *testing.T) {
+	if s, err := NameRef("h2").Resolve(); err != nil || s.Name != "h2" {
+		t.Errorf("NameRef(h2).Resolve() = %v, %v", s.Name, err)
+	}
+	if _, err := NameRef("missing-workload").Resolve(); err == nil ||
+		!strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown-name error should list the registry, got %v", err)
+	}
+	if _, err := (Ref{}).Resolve(); err == nil {
+		t.Error("empty ref resolved")
+	}
+	if _, err := (Ref{Name: "h2", Spec: &Spec{}}).Resolve(); err == nil {
+		t.Error("ambiguous ref resolved")
+	}
+	bad := XalanSpec()
+	bad.TotalUnits = 0
+	if _, err := SpecRef(bad).Resolve(); err == nil {
+		t.Error("invalid inline spec resolved")
+	}
+	if s, err := SpecRef(XalanSpec()).Resolve(); err != nil || s.Name != "xalan" {
+		t.Errorf("inline resolve = %v, %v", s.Name, err)
+	}
+}
+
+func TestRefJSONRoundTrip(t *testing.T) {
+	// Name form encodes as a bare string.
+	data, err := json.Marshal(NameRef("xalan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `"xalan"` {
+		t.Errorf("name ref JSON = %s", data)
+	}
+	var back Ref
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "xalan" || back.Spec != nil {
+		t.Errorf("round-tripped name ref = %+v", back)
+	}
+
+	// Inline form encodes as the spec object, and re-encoding is stable.
+	inline := SpecRef(JythonSpec())
+	first, err := json.Marshal(inline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Ref
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Spec == nil || decoded.Spec.Name != "jython" {
+		t.Fatalf("round-tripped inline ref = %+v", decoded)
+	}
+	second, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("inline ref encode not stable:\n%s\n%s", first, second)
+	}
+
+	// Unknown fields in an inline spec are rejected.
+	if err := json.Unmarshal([]byte(`{"Name":"x","Typo":1}`), &back); err == nil {
+		t.Error("unknown inline field accepted")
+	}
+	// Marshaling an empty or ambiguous ref fails loudly.
+	if _, err := json.Marshal(Ref{}); err == nil {
+		t.Error("empty ref marshaled")
+	}
+}

@@ -14,6 +14,12 @@
 // total number of work units — and therefore objects allocated and heap
 // required — is independent of the thread count, and only the division of
 // those units across threads changes.
+//
+// Every spec the framework can run lives in the workload registry: the
+// six benchmarks and the bundled extensions are pre-registered, custom
+// models join via Register, and consumers resolve names through Lookup
+// (or a Ref, the registry-or-inline reference that scenario plans
+// serialize).
 package workload
 
 import (

@@ -38,6 +38,19 @@
 //	suite := eng.Suite(javasim.ExperimentConfig{})
 //	tables, err := suite.AllArtifacts(ctx) // Fig 1a-1d, Fig 2, all tables
 //
+// # Workloads and declarative plans
+//
+// Every workload model lives in a registry: the six DaCapo benchmarks and
+// the bundled extensions are pre-registered, custom models join via
+// RegisterWorkload, and LookupWorkload resolves any of them by name.
+// Experiments are declared as data: a Scenario names a workload (by
+// registry name or inline Spec), thread counts, config overrides, and
+// repeats; a Plan bundles scenarios with cross-scenario reports; and
+// Engine.RunPlan executes the whole matrix through the pool and cache.
+// Plans round-trip through JSON (LoadPlan / Plan.WriteJSON), so entire
+// experiment matrices live in files and run with cmd/javasim -plan. The
+// paper's own figure suite is the built-in PaperPlan.
+//
 // Runs are deterministic: the same Config.Seed reproduces a run
 // bit-for-bit, whether points execute sequentially or across the worker
 // pool. Identical runs requested twice (by figures, studies, or
@@ -48,6 +61,7 @@ package javasim
 
 import (
 	"context"
+	"io"
 
 	"javasim/internal/core"
 	"javasim/internal/lockprof"
@@ -108,7 +122,85 @@ const (
 	SweepDone = core.SweepDone
 	// ArtifactRendered fires when a suite figure, table, or study is done.
 	ArtifactRendered = core.ArtifactRendered
+	// ScenarioDone fires when a plan scenario completes.
+	ScenarioDone = core.ScenarioDone
+	// PlanDone fires when a whole plan has executed.
+	PlanDone = core.PlanDone
 )
+
+// Declarative plan types. A Plan is an ordered set of Scenarios plus
+// cross-scenario ReportSpecs; Engine.RunPlan executes it through the
+// engine's bounded pool and memoizing cache, and plans round-trip
+// through JSON so experiment matrices can live in files.
+type (
+	// Scenario declaratively describes one experiment.
+	Scenario = core.Scenario
+	// Plan is an ordered set of scenarios plus cross-scenario reports.
+	Plan = core.Plan
+	// PlanResult is the complete outcome of Engine.RunPlan.
+	PlanResult = core.PlanResult
+	// ScenarioResult is one scenario's execution record.
+	ScenarioResult = core.ScenarioResult
+	// ReportSpec declares one cross-scenario artifact of a plan.
+	ReportSpec = core.ReportSpec
+	// ReportKind names a cross-scenario report shape.
+	ReportKind = core.ReportKind
+	// Metric selects the number a series report extracts per sweep point.
+	Metric = core.Metric
+	// Output names a per-scenario artifact.
+	Output = core.Output
+	// ConfigOverrides is the serializable subset of Config a scenario may
+	// override.
+	ConfigOverrides = core.ConfigOverrides
+	// WorkloadRef references a workload by registered name or inline Spec.
+	WorkloadRef = workload.Ref
+)
+
+// Per-scenario output kinds.
+const (
+	OutputSweep          = core.OutputSweep
+	OutputClassification = core.OutputClassification
+	OutputFactors        = core.OutputFactors
+	OutputLifespanCDF    = core.OutputLifespanCDF
+	OutputReplication    = core.OutputReplication
+)
+
+// Cross-scenario report kinds.
+const (
+	ReportSeries           = core.ReportSeries
+	ReportLifespanCDF      = core.ReportLifespanCDF
+	ReportMutatorGC        = core.ReportMutatorGC
+	ReportClassification   = core.ReportClassification
+	ReportWorkDistribution = core.ReportWorkDistribution
+	ReportFactors          = core.ReportFactors
+	ReportCompare          = core.ReportCompare
+)
+
+// Series metrics.
+const (
+	MetricAcquisitions   = core.MetricAcquisitions
+	MetricContentions    = core.MetricContentions
+	MetricTotalSeconds   = core.MetricTotalSeconds
+	MetricMutatorSeconds = core.MetricMutatorSeconds
+	MetricGCSeconds      = core.MetricGCSeconds
+	MetricGCShare        = core.MetricGCShare
+	MetricCDFBelow1KB    = core.MetricCDFBelow1KB
+)
+
+// LoadPlan reads and validates a declarative plan from JSON; unknown
+// fields are rejected so typos in plan files surface immediately.
+func LoadPlan(r io.Reader) (*Plan, error) { return core.LoadPlan(r) }
+
+// PaperPlan returns the paper's entire figure suite as a declarative
+// plan; the zero ExperimentConfig selects the full-scale setup.
+// Suite.AllArtifacts executes exactly this plan.
+func PaperPlan(cfg ExperimentConfig) *Plan { return core.PaperPlan(cfg) }
+
+// NameWorkload references a registered workload by name in a Scenario.
+func NameWorkload(name string) WorkloadRef { return workload.NameRef(name) }
+
+// InlineWorkload embeds a complete Spec in a Scenario.
+func InlineWorkload(s Spec) WorkloadRef { return workload.SpecRef(s) }
 
 // Analysis types.
 type (
@@ -192,16 +284,47 @@ func NewSuite(cfg ExperimentConfig) *Suite { return core.NewSuite(cfg) }
 // Config.LockProfiler.
 func NewLockProfiler() *LockProfiler { return lockprof.New() }
 
+// RegisterWorkload adds a custom workload model to the registry, making
+// it resolvable by name everywhere — scenario plans, the experiment
+// suite, and the command-line drivers. Names are unique; registering an
+// existing name (including the built-ins) is an error.
+func RegisterWorkload(s Spec) error { return workload.Register(s) }
+
+// Workloads returns every registered workload model in registration
+// order: the six paper benchmarks, the bundled extensions, then user
+// registrations.
+func Workloads() []Spec { return workload.Registered() }
+
+// WorkloadNames returns every registered workload name in registration
+// order.
+func WorkloadNames() []string { return workload.Names() }
+
+// LookupWorkload resolves a registered workload by name.
+func LookupWorkload(name string) (Spec, bool) { return workload.Lookup(name) }
+
+// PaperBenchmarks returns the six DaCapo-9.12 workload models in the
+// paper's order: the scalable trio, then the non-scalable trio.
+func PaperBenchmarks() []Spec { return workload.PaperSet() }
+
 // Benchmarks returns the six DaCapo-9.12 workload models in the paper's
 // order: the scalable trio, then the non-scalable trio.
-func Benchmarks() []Spec { return workload.All() }
+//
+// Deprecated: use PaperBenchmarks, which reads the same six models from
+// the workload registry (see also Workloads for the whole catalog).
+func Benchmarks() []Spec { return workload.PaperSet() }
 
 // ExtensionBenchmarks returns workloads beyond the paper's six (e.g. the
 // "server" model used by the future-work studies).
+//
+// Deprecated: use Workloads for the whole registered catalog, or
+// LookupWorkload for one model.
 func ExtensionBenchmarks() []Spec { return workload.Extensions() }
 
-// BenchmarkByName looks up one of the six benchmarks.
-func BenchmarkByName(name string) (Spec, bool) { return workload.ByName(name) }
+// BenchmarkByName looks up a workload by name.
+//
+// Deprecated: use LookupWorkload, which resolves any registered workload
+// (built-in or user-registered) through the registry.
+func BenchmarkByName(name string) (Spec, bool) { return workload.Lookup(name) }
 
 // PaperScalable reports the paper's published classification for a
 // benchmark name.

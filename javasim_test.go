@@ -2,13 +2,14 @@ package javasim_test
 
 import (
 	"context"
+	"os"
 	"testing"
 
 	"javasim"
 )
 
 func TestFacadeRun(t *testing.T) {
-	spec, ok := javasim.BenchmarkByName("xalan")
+	spec, ok := javasim.LookupWorkload("xalan")
 	if !ok {
 		t.Fatal("xalan missing")
 	}
@@ -22,7 +23,7 @@ func TestFacadeRun(t *testing.T) {
 }
 
 func TestFacadeBenchmarks(t *testing.T) {
-	bs := javasim.Benchmarks()
+	bs := javasim.PaperBenchmarks()
 	if len(bs) != 6 {
 		t.Fatalf("benchmarks = %d, want 6", len(bs))
 	}
@@ -35,13 +36,78 @@ func TestFacadeBenchmarks(t *testing.T) {
 	if scalable != 3 {
 		t.Errorf("scalable count = %d, want 3", scalable)
 	}
-	if _, ok := javasim.BenchmarkByName("nope"); ok {
+	if _, ok := javasim.LookupWorkload("nope"); ok {
 		t.Error("unknown benchmark found")
+	}
+	// The deprecated accessors stay wired to the registry.
+	if got := javasim.Benchmarks(); len(got) != 6 || got[0].Name != bs[0].Name {
+		t.Errorf("deprecated Benchmarks() diverged from PaperBenchmarks()")
+	}
+}
+
+func TestFacadeWorkloadRegistry(t *testing.T) {
+	names := javasim.WorkloadNames()
+	if len(names) < 7 || names[0] != "sunflow" {
+		t.Fatalf("registry names = %v", names)
+	}
+	if _, ok := javasim.LookupWorkload("server"); !ok {
+		t.Error("server extension not registered")
+	}
+	custom, _ := javasim.LookupWorkload("xalan")
+	custom.Name = "facade-custom"
+	if err := javasim.RegisterWorkload(custom); err != nil {
+		t.Fatal(err)
+	}
+	if err := javasim.RegisterWorkload(custom); err == nil {
+		t.Error("duplicate registration succeeded")
+	}
+	found := false
+	for _, s := range javasim.Workloads() {
+		if s.Name == "facade-custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered workload missing from Workloads()")
+	}
+}
+
+// TestFacadePlanFile executes the repository's demo plan file end to end
+// — the same file `cmd/javasim -plan testdata/plan.json` runs.
+func TestFacadePlanFile(t *testing.T) {
+	f, err := os.Open("testdata/plan.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := javasim.LoadPlan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Scenarios) < 4 {
+		t.Fatalf("scenarios = %d", len(plan.Scenarios))
+	}
+	eng := javasim.NewEngine()
+	pr, err := eng.RunPlan(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Scenario("xalan") == nil || pr.Scenario("custom-analytics") == nil {
+		t.Fatal("scenario results missing")
+	}
+	if len(pr.Reports) != 3 {
+		t.Errorf("reports = %d, want 3", len(pr.Reports))
+	}
+	if got := len(pr.Tables()); got != 6 {
+		t.Errorf("tables = %d, want 6 (3 scenario outputs + 3 reports)", got)
+	}
+	if reps := pr.Scenario("xalan-repeated").Sweeps; len(reps) != 3 {
+		t.Errorf("repeat sweeps = %d, want 3", len(reps))
 	}
 }
 
 func TestFacadeSweepAndSuite(t *testing.T) {
-	spec, _ := javasim.BenchmarkByName("jython")
+	spec, _ := javasim.LookupWorkload("jython")
 	sw, err := javasim.RunSweep(spec.Scale(0.02), javasim.SweepConfig{
 		ThreadCounts: []int{2, 4},
 	})
@@ -65,7 +131,7 @@ func TestFacadeSweepAndSuite(t *testing.T) {
 }
 
 func TestFacadeLockProfiler(t *testing.T) {
-	spec, _ := javasim.BenchmarkByName("h2")
+	spec, _ := javasim.LookupWorkload("h2")
 	prof := javasim.NewLockProfiler()
 	_, err := javasim.Run(spec.Scale(0.02), javasim.Config{Threads: 4, Seed: 1, LockProfiler: prof})
 	if err != nil {
