@@ -168,7 +168,7 @@ func BenchmarkAblationCompartmentHeap(b *testing.B) {
 // BenchmarkVMRun measures raw simulator throughput: one xalan run per
 // iteration at a fixed configuration, reporting simulated-vs-real speed.
 func BenchmarkVMRun(b *testing.B) {
-	spec, _ := javasim.BenchmarkByName("xalan")
+	spec, _ := javasim.LookupWorkload("xalan")
 	spec = spec.Scale(0.1)
 	eng := javasim.NewEngine(javasim.WithCache(0)) // uncached: measure simulation, not lookups
 	var virtualNS float64
@@ -185,7 +185,7 @@ func BenchmarkVMRun(b *testing.B) {
 
 // BenchmarkVMRunManycore exercises the full 48-core configuration.
 func BenchmarkVMRunManycore(b *testing.B) {
-	spec, _ := javasim.BenchmarkByName("sunflow")
+	spec, _ := javasim.LookupWorkload("sunflow")
 	spec = spec.Scale(0.1)
 	eng := javasim.NewEngine(javasim.WithCache(0))
 	b.ResetTimer()

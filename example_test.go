@@ -40,19 +40,25 @@ func ExampleEngine_Sweep() {
 	// Output: scalable: false
 }
 
-// ExampleRunSweep exercises the deprecated free-function API, which
-// delegates to the shared default engine.
-func ExampleRunSweep() {
-	spec, _ := javasim.LookupWorkload("jython")
-	sw, err := javasim.RunSweep(spec.Scale(0.05), javasim.SweepConfig{
-		ThreadCounts: []int{4, 16},
-	})
-	if err != nil {
-		panic(err)
+// ExampleConfig_lockPolicy A/Bs two contended-monitor disciplines on the
+// same workload and seed: the paper's baseline FIFO park/handoff against
+// Dice & Kogan-style concurrency restriction, which parks excess threads
+// at an admission gate that never fires the contended-enter probe.
+func ExampleConfig_lockPolicy() {
+	eng := javasim.NewEngine()
+	spec, _ := javasim.LookupWorkload("server")
+	run := func(policy string) *javasim.Result {
+		res, err := eng.Run(context.Background(), spec.Scale(0.05),
+			javasim.Config{Threads: 32, Seed: 42, LockPolicy: policy})
+		if err != nil {
+			panic(err)
+		}
+		return res
 	}
-	c := sw.Classify(2.0)
-	fmt.Println("scalable:", c.Scalable)
-	// Output: scalable: false
+	fifo := run(javasim.LockPolicyFIFO)
+	restricted := run(javasim.LockPolicyRestricted)
+	fmt.Println("restricted tames contention:", restricted.LockContentions < fifo.LockContentions)
+	// Output: restricted tames contention: true
 }
 
 // ExampleSuite_Fig1d regenerates one of the paper's figures as a table.

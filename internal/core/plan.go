@@ -7,7 +7,9 @@ import (
 	"io"
 	"sync"
 
+	"javasim/internal/locks"
 	"javasim/internal/report"
+	"javasim/internal/sched"
 	"javasim/internal/sim"
 	"javasim/internal/vm"
 	"javasim/internal/workload"
@@ -70,6 +72,15 @@ type ConfigOverrides struct {
 	Pretenuring bool `json:",omitempty"`
 	// Iterations repeats the workload inside one JVM, DaCapo-style.
 	Iterations int `json:",omitempty"`
+	// LockPolicy selects the contended-monitor discipline by locks
+	// registry name ("fifo", "barging", "spin-then-park", "restricted");
+	// empty inherits the plan's (ultimately fifo). Unknown names are
+	// rejected at plan-load time.
+	LockPolicy string `json:",omitempty"`
+	// Placement selects the scheduler's run-queue placement by sched
+	// registry name ("affinity", "round-robin", "least-loaded"); empty
+	// inherits the plan's (ultimately affinity).
+	Placement string `json:",omitempty"`
 }
 
 // apply writes the non-zero overrides onto a vm.Config.
@@ -108,6 +119,12 @@ func (o *ConfigOverrides) apply(cfg *vm.Config) {
 	if o.Iterations != 0 {
 		cfg.Iterations = o.Iterations
 	}
+	if o.LockPolicy != "" {
+		cfg.LockPolicy = o.LockPolicy
+	}
+	if o.Placement != "" {
+		cfg.Sched.Placement = o.Placement
+	}
 }
 
 // validate reports structurally impossible overrides.
@@ -132,6 +149,12 @@ func (o *ConfigOverrides) validate() error {
 	}
 	if o.GCTriggerRatio < 0 || o.GCTriggerRatio > 1 {
 		return fmt.Errorf("GCTriggerRatio = %v", o.GCTriggerRatio)
+	}
+	if err := locks.ValidatePolicy(o.LockPolicy); err != nil {
+		return err
+	}
+	if err := sched.ValidatePlacement(o.Placement); err != nil {
+		return err
 	}
 	return nil
 }
@@ -401,6 +424,12 @@ type Plan struct {
 	Seed         uint64  `json:",omitempty"`
 	Scale        float64 `json:",omitempty"`
 	ThreadCounts []int   `json:",omitempty"`
+	// LockPolicy and Placement are the contention-policy defaults every
+	// scenario inherits; a scenario's ConfigOverrides take precedence.
+	// Empty means fifo/affinity, the paper's baseline. Unknown names are
+	// rejected at plan-load time.
+	LockPolicy string `json:",omitempty"`
+	Placement  string `json:",omitempty"`
 	// Scenarios are the experiments, executed through the engine's pool.
 	Scenarios []Scenario
 	// Reports are the cross-scenario artifacts, rendered in order once
@@ -419,6 +448,12 @@ func (p *Plan) Validate() error {
 		return fmt.Errorf("core: plan %q: scale %v outside (0,1]", p.Name, p.Scale)
 	}
 	if err := validThreadCounts(p.ThreadCounts); err != nil {
+		return fmt.Errorf("core: plan %q: %w", p.Name, err)
+	}
+	if err := locks.ValidatePolicy(p.LockPolicy); err != nil {
+		return fmt.Errorf("core: plan %q: %w", p.Name, err)
+	}
+	if err := sched.ValidatePlacement(p.Placement); err != nil {
 		return fmt.Errorf("core: plan %q: %w", p.Name, err)
 	}
 	names := make(map[string]bool, len(p.Scenarios))
@@ -689,7 +724,8 @@ func (e *Engine) runScenario(ctx context.Context, p *Plan, sc *Scenario) (*Scena
 	}
 	counts := sc.threadCounts(p)
 	seed := sc.seed(p)
-	base := vm.Config{Seed: seed}
+	base := vm.Config{Seed: seed, LockPolicy: p.LockPolicy}
+	base.Sched.Placement = p.Placement
 	sc.Overrides.apply(&base)
 
 	res := &ScenarioResult{Name: sc.Name, Workload: spec.Name}

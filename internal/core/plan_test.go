@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
 	"javasim/internal/workload"
@@ -171,8 +172,13 @@ func TestRunPlanMemoization(t *testing.T) {
 }
 
 func TestRunPlanOutputsReportsAndEvents(t *testing.T) {
+	// Observers must be concurrency-safe: scenarios emit ScenarioDone
+	// from the plan's parallel goroutines.
+	var mu sync.Mutex
 	var scenarios, artifacts, plans int
 	eng := NewEngine(WithObserver(ObserverFunc(func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
 		switch ev.Kind {
 		case ScenarioDone:
 			scenarios++

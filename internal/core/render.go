@@ -3,11 +3,42 @@ package core
 import (
 	"fmt"
 
+	"javasim/internal/locks"
 	"javasim/internal/metrics"
 	"javasim/internal/report"
+	"javasim/internal/sched"
 	"javasim/internal/vm"
 	"javasim/internal/workload"
 )
+
+// policyTag names a result's non-default contention policies so factor
+// rows and compare columns self-identify when one plan A/Bs disciplines:
+// "restricted", "fifo/round-robin", "barging/least-loaded". Runs under
+// the default fifo + affinity pair yield "" and every historical artifact
+// keeps its byte-identical form.
+func policyTag(r *vm.Result) string {
+	lock, place := r.LockPolicy, r.Placement
+	defaultLock := lock == "" || lock == locks.PolicyFIFO
+	defaultPlace := place == "" || place == sched.PlacementAffinity
+	switch {
+	case defaultLock && defaultPlace:
+		return ""
+	case defaultPlace:
+		return lock
+	case defaultLock:
+		return locks.PolicyFIFO + "/" + place
+	default:
+		return lock + "/" + place
+	}
+}
+
+// tagLabel suffixes a row label with the sweep's policy tag, if any.
+func tagLabel(label string, sw *Sweep) string {
+	if tag := policyTag(sw.Points[0].Result); tag != "" {
+		return label + " [" + tag + "]"
+	}
+	return label
+}
 
 // This file holds the rendering layer shared by the imperative Suite
 // methods and the declarative plan reports: every figure and table is a
@@ -207,7 +238,7 @@ func renderFactors(labels []string, sweeps []*Sweep) *report.Table {
 	}
 	for i, sw := range sweeps {
 		f := sw.ComputeFactors()
-		t.AddRow(labels[i],
+		t.AddRow(tagLabel(labels[i], sw),
 			fmt.Sprintf("%.3f", f.SequentialFraction),
 			fmt.Sprintf("%.2fx", f.AcquisitionGrowth),
 			fmt.Sprintf("%.2fx", f.ContentionGrowth),
@@ -221,11 +252,20 @@ func renderFactors(labels []string, sweeps []*Sweep) *report.Table {
 }
 
 // renderCompare builds a baseline-vs-modified ablation table from two
-// results of the same workload.
+// results of the same workload. Columns carry the runs' contention-policy
+// tags when either side deviates from the fifo + affinity default, so a
+// policy A/B labels itself.
 func renderCompare(title, note string, base, mod *vm.Result) *report.Table {
+	baseHdr, modHdr := "baseline", "modified"
+	if tag := policyTag(base); tag != "" {
+		baseHdr += " [" + tag + "]"
+	}
+	if tag := policyTag(mod); tag != "" {
+		modHdr += " [" + tag + "]"
+	}
 	t := &report.Table{
 		Title:   title,
-		Headers: []string{"metric", "baseline", "modified"},
+		Headers: []string{"metric", baseHdr, modHdr},
 		Note:    note,
 	}
 	t.AddRow("total time", base.TotalTime.String(), mod.TotalTime.String())

@@ -1,6 +1,10 @@
 package locks
 
-import "testing"
+import (
+	"testing"
+
+	"javasim/internal/sim"
+)
 
 // BenchmarkUncontendedAcquireRelease measures the monitor fast path.
 func BenchmarkUncontendedAcquireRelease(b *testing.B) {
@@ -23,5 +27,49 @@ func BenchmarkContendedHandoff(b *testing.B) {
 		tb.Acquire(m, next, 0) // blocks
 		owner := m.Owner()
 		tb.Release(m, owner, 1) // hands off to next
+	}
+}
+
+// BenchmarkTableContended measures the contended acquire/release hot path
+// under every registered policy: eight threads hammering one monitor, the
+// released thread immediately re-attempting. A regression here is
+// policy-dispatch overhead leaking into the simulator's hottest loop.
+func BenchmarkTableContended(b *testing.B) {
+	for _, name := range PolicyNames() {
+		b.Run(name, func(b *testing.B) {
+			p, err := NewPolicy(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tb := NewTableWithPolicy(p, nil)
+			m := tb.Create("bench")
+			const threads = 8
+			now := sim.Time(0)
+			// settle drives one attempt to rest: spins retry immediately,
+			// parks stay parked until a release wakes them.
+			settle := func(t ThreadID) {
+				if tb.Acquire(m, t, now).Kind == Spinning {
+					tb.Retry(m, t, now)
+				}
+			}
+			for t := ThreadID(0); t < threads; t++ {
+				settle(t)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now++
+				owner := m.Owner()
+				h := tb.Release(m, owner, now)
+				for _, w := range h.Retry {
+					tb.Retry(m, w.ID, now)
+				}
+				if m.Owner() == NoThread {
+					// Everyone parked elsewhere drained; restart the herd.
+					settle(owner)
+					continue
+				}
+				settle(owner) // the released thread circles back
+			}
+		})
 	}
 }

@@ -1,11 +1,13 @@
 // Package locks models Java object monitors — the synchronization
 // primitive behind synchronized blocks — the way HotSpot implements them:
-// an uncontended fast path, and a contended slow path that parks the
-// acquiring thread on a FIFO entry queue until the owner releases.
+// an uncontended fast path, and a contended slow path whose discipline is
+// a pluggable Policy (see policy.go): the default parks the acquiring
+// thread on a FIFO entry queue until the owner releases, alternatives
+// barge, spin, or restrict concurrency.
 //
 // A contention instance, matching the DTrace monitor-contended-enter probe
-// the paper counts in Figure 1b, is an acquisition attempt that finds the
-// monitor held by another thread.
+// the paper counts in Figure 1b, is an acquisition attempt that enters the
+// monitor's contended slow path; which attempts do is the policy's call.
 package locks
 
 import (
@@ -20,17 +22,65 @@ type ThreadID int32
 // NoThread is the owner of a free monitor.
 const NoThread ThreadID = -1
 
-// Outcome is the result of an acquisition attempt.
-type Outcome int
+// OutcomeKind classifies the result of an acquisition attempt. The zero
+// value is deliberately invalid so a custom policy returning a
+// forgotten-to-fill Outcome fails fast instead of reading as Acquired.
+type OutcomeKind uint8
 
 const (
+	// outcomeInvalid is the zero value — a policy bug, rejected by the VM.
+	outcomeInvalid OutcomeKind = iota
 	// Acquired means the thread now owns the monitor (fast path or
 	// reentrant).
-	Acquired Outcome = iota
-	// Blocked means the monitor was contended; the thread was appended to
-	// the entry queue and must not run until handed ownership.
-	Blocked
+	Acquired
+	// Parked means the thread was queued by the policy and must not run
+	// until woken: either handed ownership directly, or told to Retry.
+	Parked
+	// Spinning means the thread should busy-wait Outcome.Spin of CPU time
+	// and then call Retry — the spin is compute, not blocking.
+	Spinning
 )
+
+// String names the kind.
+func (k OutcomeKind) String() string {
+	switch k {
+	case Acquired:
+		return "acquired"
+	case Parked:
+		return "parked"
+	case Spinning:
+		return "spinning"
+	default:
+		return "invalid"
+	}
+}
+
+// Outcome is the result of an acquisition attempt.
+type Outcome struct {
+	Kind OutcomeKind
+	// Spin is the busy-wait budget when Kind == Spinning.
+	Spin sim.Time
+}
+
+// Waiter is one parked thread together with the time its wait began.
+type Waiter struct {
+	ID    ThreadID
+	Since sim.Time
+}
+
+// Handoff is the outcome of an outermost release. The zero value is
+// inert — no handoff, nobody woken — so a custom policy cannot grant the
+// monitor to thread 0 by returning a forgotten-to-fill Handoff.
+type Handoff struct {
+	// Direct marks a direct ownership transfer: Next received the monitor
+	// and must be made runnable; Since is when its wait began.
+	Direct bool
+	Next   ThreadID
+	Since  sim.Time
+	// Retry lists threads to wake without ownership: each must re-attempt
+	// via Table.Retry, and whichever dispatches first wins the monitor.
+	Retry []Waiter
+}
 
 // LockState is the HotSpot-era synchronization state of a monitor. Every
 // monitor starts biasable: the first acquiring thread biases it to itself
@@ -93,6 +143,21 @@ type Monitor struct {
 	waiters      []ThreadID
 	enqueueTimes []sim.Time
 
+	// spinners are threads busy-waiting on the monitor (Spinning
+	// outcome), in attempt order. A release that leaves the monitor free
+	// reserves it for the earliest spinner, so no latecomer can steal a
+	// lock a live busy-waiter is polling for and the spinner never parks
+	// a lock that freed mid-spin. The spin segment is the model's poll
+	// granularity: the reserved spinner enters its critical section only
+	// when its segment completes, so a reservation holds the monitor idle
+	// until then — the remaining budget on an idle machine, budget plus
+	// ready-queue delay when cores are oversubscribed. A real spinner
+	// would enter within nanoseconds (or stop being a spinner once
+	// descheduled); the coarseness is the price of fixed-length spin
+	// segments, and it is also why spin-then-park degrades in the
+	// oversubscribed regime, as real spin locks do.
+	spinners []Waiter
+
 	acquiredAt sim.Time
 
 	// acquisitions and contentions are the two Figure 1 counters.
@@ -141,13 +206,31 @@ func (m *Monitor) Contentions() int64 { return m.contentions }
 type Table struct {
 	monitors []*Monitor
 	listener Listener
+	policy   Policy
+
+	// retrySince records, per thread woken for a competitive retry, when
+	// its wait began — for handoff accounting and re-parks.
+	retrySince map[ThreadID]sim.Time
 }
 
-// NewTable returns an empty monitor table reporting to listener (which may
-// be nil).
+// NewTable returns an empty monitor table under the default fifo policy,
+// reporting to listener (which may be nil).
 func NewTable(listener Listener) *Table {
-	return &Table{listener: listener}
+	return NewTableWithPolicy(nil, listener)
 }
+
+// NewTableWithPolicy returns an empty monitor table under the given
+// contention policy (nil selects fifo), reporting to listener (which may
+// be nil). The policy instance must not be shared with another table.
+func NewTableWithPolicy(p Policy, listener Listener) *Table {
+	if p == nil {
+		p = FIFO()
+	}
+	return &Table{listener: listener, policy: p, retrySince: make(map[ThreadID]sim.Time)}
+}
+
+// PolicyName returns the registry name of the table's contention policy.
+func (tb *Table) PolicyName() string { return tb.policy.Name() }
 
 // Create registers a new monitor with a diagnostic name.
 func (tb *Table) Create(name string) *Monitor {
@@ -187,11 +270,64 @@ func (tb *Table) TotalContentions() int64 {
 	return n
 }
 
+// enqueue appends t to the entry queue with its wait start.
+func (m *Monitor) enqueue(t ThreadID, since sim.Time) {
+	m.waiters = append(m.waiters, t)
+	m.enqueueTimes = append(m.enqueueTimes, since)
+}
+
+// dequeue pops the entry-queue head and its wait start.
+func (m *Monitor) dequeue() (ThreadID, sim.Time, bool) {
+	if len(m.waiters) == 0 {
+		return NoThread, 0, false
+	}
+	next := m.waiters[0]
+	since := m.enqueueTimes[0]
+	copy(m.waiters, m.waiters[1:])
+	m.waiters = m.waiters[:len(m.waiters)-1]
+	copy(m.enqueueTimes, m.enqueueTimes[1:])
+	m.enqueueTimes = m.enqueueTimes[:len(m.enqueueTimes)-1]
+	return next, since, true
+}
+
+// drain removes and returns every entry-queue waiter in FIFO order.
+func (m *Monitor) drain() []Waiter {
+	if len(m.waiters) == 0 {
+		return nil
+	}
+	out := make([]Waiter, len(m.waiters))
+	for i, id := range m.waiters {
+		out[i] = Waiter{ID: id, Since: m.enqueueTimes[i]}
+	}
+	m.waiters = m.waiters[:0]
+	m.enqueueTimes = m.enqueueTimes[:0]
+	return out
+}
+
+// grant transfers ownership of a free monitor to t.
+func (m *Monitor) grant(t ThreadID, now sim.Time) {
+	m.owner = t
+	m.recursion = 1
+	m.acquiredAt = now
+}
+
+// removeSpinner deletes t from the spinner list, if present.
+func (m *Monitor) removeSpinner(t ThreadID) {
+	for i, s := range m.spinners {
+		if s.ID == t {
+			m.spinners = append(m.spinners[:i], m.spinners[i+1:]...)
+			return
+		}
+	}
+}
+
 // Acquire attempts to take m for thread t at the current time. If the
 // monitor is free it is granted immediately; if t already owns it the
-// recursion count grows; otherwise t is appended to the entry queue and
-// Blocked is returned — the caller must deschedule t until Release hands
-// it the monitor.
+// recursion count grows; otherwise the table's policy decides: a Parked
+// outcome means the caller must deschedule t until woken (handed the
+// monitor via Handoff.Next, or told to re-attempt via Handoff.Retry), and
+// a Spinning outcome means the caller must burn Outcome.Spin of CPU time
+// and then call Retry.
 func (tb *Table) Acquire(m *Monitor, t ThreadID, now sim.Time) Outcome {
 	m.acquisitions++
 	// Advance the lock-state machine before the ownership decision.
@@ -210,63 +346,107 @@ func (tb *Table) Acquire(m *Monitor, t ThreadID, now sim.Time) Outcome {
 	}
 	switch m.owner {
 	case NoThread:
-		m.owner = t
-		m.recursion = 1
-		m.acquiredAt = now
+		m.grant(t, now)
 		if tb.listener != nil {
 			tb.listener.OnAcquire(m, t, false, now)
 		}
-		return Acquired
+		return Outcome{Kind: Acquired}
 	case t:
 		m.recursion++
 		if tb.listener != nil {
 			tb.listener.OnAcquire(m, t, false, now)
 		}
-		return Acquired
+		return Outcome{Kind: Acquired}
 	default:
 		m.state = StateInflated
-		m.contentions++
-		m.waiters = append(m.waiters, t)
-		m.enqueueTimes = append(m.enqueueTimes, now)
+		// The listener sees the raw contended attempt; whether the
+		// Figure 1b probe (m.contentions) fires is the policy's call.
 		if tb.listener != nil {
 			tb.listener.OnAcquire(m, t, true, now)
 		}
-		return Blocked
+		out := tb.policy.Contended(tb, m, t, now, false)
+		if out.Kind == Spinning {
+			m.spinners = append(m.spinners, Waiter{ID: t, Since: now})
+		}
+		return out
 	}
 }
 
-// Release drops one recursion level of m held by t. When the outermost
-// hold is released and waiters are queued, ownership transfers directly to
-// the head waiter (deterministic FIFO handoff) and that thread's ID is
-// returned with handoff = true; the caller must make it runnable again.
-// Releasing a monitor not owned by t panics — that is a VM logic bug, the
-// analogue of IllegalMonitorStateException.
-func (tb *Table) Release(m *Monitor, t ThreadID, now sim.Time) (next ThreadID, handoff bool) {
+// Retry re-attempts an acquisition whose first attempt returned Spinning
+// (after the spin) or whose thread was woken through Handoff.Retry. It is
+// not a new acquisition: no counter moves and the lock-state machine does
+// not advance. A free monitor is granted, a monitor already reserved for
+// t (released mid-spin) is confirmed, and a held one goes back to the
+// policy with retry set.
+func (tb *Table) Retry(m *Monitor, t ThreadID, now sim.Time) Outcome {
+	m.removeSpinner(t)
+	switch m.owner {
+	case NoThread:
+		m.grant(t, now)
+		if since, ok := tb.retrySince[t]; ok {
+			// The thread had parked: its eventual grant is a handoff.
+			delete(tb.retrySince, t)
+			if tb.listener != nil {
+				tb.listener.OnHandoff(m, t, now-since)
+			}
+		}
+		return Outcome{Kind: Acquired}
+	case t:
+		// The monitor was reserved for this spinner at release time.
+		delete(tb.retrySince, t)
+		return Outcome{Kind: Acquired}
+	default:
+		out := tb.policy.Contended(tb, m, t, now, true)
+		switch out.Kind {
+		case Spinning:
+			// A policy may spin again on retry (adaptive spinning); the
+			// thread stays reservation-eligible for its new spin window.
+			m.spinners = append(m.spinners, Waiter{ID: t, Since: now})
+		case Parked:
+			// The retry resolved into a park: whatever queue the policy
+			// chose now tracks the wait, so the retry record is dead.
+			// (Centralized here so custom policies cannot leak entries.)
+			delete(tb.retrySince, t)
+		}
+		return out
+	}
+}
+
+// Release drops one recursion level of m held by t. On the outermost
+// release the policy decides the handoff: Handoff.Next (if any) received
+// ownership directly and must be made runnable; every Handoff.Retry
+// waiter must be woken to re-attempt via Retry. Releasing a monitor not
+// owned by t panics — that is a VM logic bug, the analogue of
+// IllegalMonitorStateException.
+func (tb *Table) Release(m *Monitor, t ThreadID, now sim.Time) Handoff {
 	if m.owner != t {
 		panic(fmt.Sprintf("locks: thread %d releasing monitor %q owned by %d", t, m.name, m.owner))
 	}
 	m.recursion--
 	if m.recursion > 0 {
-		return NoThread, false
+		return Handoff{}
 	}
 	if tb.listener != nil {
 		tb.listener.OnRelease(m, t, now-m.acquiredAt)
 	}
-	if len(m.waiters) == 0 {
-		m.owner = NoThread
-		return NoThread, false
+	m.owner = NoThread
+	h := tb.policy.Released(tb, m, now)
+	if h.Direct {
+		m.grant(h.Next, now)
+		delete(tb.retrySince, h.Next)
+		if tb.listener != nil {
+			tb.listener.OnHandoff(m, h.Next, now-h.Since)
+		}
+	} else if len(m.spinners) > 0 {
+		// Nobody parked took the monitor: the earliest live busy-waiter
+		// grabs it at the instant of release. Its Retry (at spin-segment
+		// end) observes the reservation; no handoff event fires — a
+		// successful spin never enters the contended slow path.
+		m.grant(m.spinners[0].ID, now)
+		m.spinners = m.spinners[1:]
 	}
-	next = m.waiters[0]
-	waited := now - m.enqueueTimes[0]
-	copy(m.waiters, m.waiters[1:])
-	m.waiters = m.waiters[:len(m.waiters)-1]
-	copy(m.enqueueTimes, m.enqueueTimes[1:])
-	m.enqueueTimes = m.enqueueTimes[:len(m.enqueueTimes)-1]
-	m.owner = next
-	m.recursion = 1
-	m.acquiredAt = now
-	if tb.listener != nil {
-		tb.listener.OnHandoff(m, next, waited)
+	for _, w := range h.Retry {
+		tb.retrySince[w.ID] = w.Since
 	}
-	return next, true
+	return h
 }

@@ -10,8 +10,8 @@ import (
 func TestUncontendedAcquire(t *testing.T) {
 	tb := NewTable(nil)
 	m := tb.Create("lock")
-	if got := tb.Acquire(m, 1, 0); got != Acquired {
-		t.Fatalf("Acquire = %v, want Acquired", got)
+	if got := tb.Acquire(m, 1, 0); got.Kind != Acquired {
+		t.Fatalf("Acquire = %v, want Acquired", got.Kind)
 	}
 	if m.Owner() != 1 {
 		t.Errorf("owner = %d, want 1", m.Owner())
@@ -19,8 +19,8 @@ func TestUncontendedAcquire(t *testing.T) {
 	if m.Acquisitions() != 1 || m.Contentions() != 0 {
 		t.Errorf("counters %d/%d, want 1/0", m.Acquisitions(), m.Contentions())
 	}
-	next, handoff := tb.Release(m, 1, 10)
-	if handoff || next != NoThread {
+	h := tb.Release(m, 1, 10)
+	if h.Direct || len(h.Retry) != 0 {
 		t.Error("release of uncontended lock reported handoff")
 	}
 	if m.Owner() != NoThread {
@@ -32,13 +32,13 @@ func TestReentrancy(t *testing.T) {
 	tb := NewTable(nil)
 	m := tb.Create("lock")
 	tb.Acquire(m, 1, 0)
-	if got := tb.Acquire(m, 1, 1); got != Acquired {
+	if got := tb.Acquire(m, 1, 1); got.Kind != Acquired {
 		t.Fatal("reentrant acquire blocked")
 	}
 	if m.Contentions() != 0 {
 		t.Error("reentrant acquire counted as contention")
 	}
-	if _, handoff := tb.Release(m, 1, 2); handoff {
+	if h := tb.Release(m, 1, 2); h.Direct {
 		t.Error("inner release caused handoff")
 	}
 	if m.Owner() != 1 {
@@ -54,11 +54,11 @@ func TestContentionAndFIFOHandoff(t *testing.T) {
 	tb := NewTable(nil)
 	m := tb.Create("hot")
 	tb.Acquire(m, 1, 0)
-	if got := tb.Acquire(m, 2, 1); got != Blocked {
-		t.Fatal("second acquire not blocked")
+	if got := tb.Acquire(m, 2, 1); got.Kind != Parked {
+		t.Fatal("second acquire not parked")
 	}
-	if got := tb.Acquire(m, 3, 2); got != Blocked {
-		t.Fatal("third acquire not blocked")
+	if got := tb.Acquire(m, 3, 2); got.Kind != Parked {
+		t.Fatal("third acquire not parked")
 	}
 	if m.Contentions() != 2 {
 		t.Errorf("contentions = %d, want 2", m.Contentions())
@@ -66,16 +66,16 @@ func TestContentionAndFIFOHandoff(t *testing.T) {
 	if m.QueueLength() != 2 {
 		t.Errorf("queue = %d, want 2", m.QueueLength())
 	}
-	next, handoff := tb.Release(m, 1, 5)
-	if !handoff || next != 2 {
-		t.Fatalf("handoff to %d, want thread 2 (FIFO)", next)
+	h := tb.Release(m, 1, 5)
+	if !h.Direct || h.Next != 2 {
+		t.Fatalf("handoff to %d, want thread 2 (FIFO)", h.Next)
 	}
 	if m.Owner() != 2 {
 		t.Error("ownership not transferred")
 	}
-	next, handoff = tb.Release(m, 2, 6)
-	if !handoff || next != 3 {
-		t.Fatalf("second handoff to %d, want 3", next)
+	h = tb.Release(m, 2, 6)
+	if !h.Direct || h.Next != 3 {
+		t.Fatalf("second handoff to %d, want 3", h.Next)
 	}
 	tb.Release(m, 3, 7)
 	if m.Owner() != NoThread || m.QueueLength() != 0 {
@@ -174,7 +174,7 @@ func TestMutualExclusionProperty(t *testing.T) {
 				if state[tid] != 0 {
 					continue // already holding or waiting
 				}
-				if tb.Acquire(m, tid, now) == Acquired {
+				if tb.Acquire(m, tid, now).Kind == Acquired {
 					if m.Owner() != tid {
 						return false
 					}
@@ -187,15 +187,15 @@ func TestMutualExclusionProperty(t *testing.T) {
 				if state[tid] != 2 {
 					continue
 				}
-				next, handoff := tb.Release(m, tid, now)
+				h := tb.Release(m, tid, now)
 				state[tid] = 0
-				if handoff {
-					if len(fifo) == 0 || fifo[0] != next {
+				if h.Direct {
+					if len(fifo) == 0 || fifo[0] != h.Next {
 						return false // FIFO violated
 					}
 					fifo = fifo[1:]
-					state[next] = 2
-					if m.Owner() != next {
+					state[h.Next] = 2
+					if m.Owner() != h.Next {
 						return false
 					}
 				} else if m.QueueLength() != 0 {
@@ -236,17 +236,17 @@ func TestCounterConsistencyProperty(t *testing.T) {
 			now++
 			tid := ThreadID(op % 4)
 			if op%2 == 0 && !held[tid] && !waiting[tid] {
-				if tb.Acquire(m, tid, now) == Acquired {
+				if tb.Acquire(m, tid, now).Kind == Acquired {
 					held[tid] = true
 				} else {
 					waiting[tid] = true
 				}
 			} else if held[tid] && m.Owner() == tid {
-				next, handoff := tb.Release(m, tid, now)
+				h := tb.Release(m, tid, now)
 				delete(held, tid)
-				if handoff {
-					held[next] = true
-					delete(waiting, next)
+				if h.Direct {
+					held[h.Next] = true
+					delete(waiting, h.Next)
 				}
 			}
 		}

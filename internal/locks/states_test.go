@@ -95,17 +95,17 @@ func TestStateEscalationProperty(t *testing.T) {
 		for _, op := range ops {
 			tid := ThreadID(op % 4)
 			if op%2 == 0 && !held[tid] && !waiting[tid] {
-				if tb.Acquire(m, tid, 0) == Acquired {
+				if tb.Acquire(m, tid, 0).Kind == Acquired {
 					held[tid] = true
 				} else {
 					waiting[tid] = true
 				}
 			} else if held[tid] && m.Owner() == tid {
-				next, handoff := tb.Release(m, tid, 1)
+				h := tb.Release(m, tid, 1)
 				delete(held, tid)
-				if handoff {
-					held[next] = true
-					delete(waiting, next)
+				if h.Direct {
+					held[h.Next] = true
+					delete(waiting, h.Next)
 				}
 			}
 			if m.State() < prev {

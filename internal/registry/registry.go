@@ -1,0 +1,87 @@
+// Package registry provides the string-keyed factory registry behind the
+// simulator's swappable policies (lock disciplines, scheduler
+// placements). A Registry maps unique names to factories; factories mint
+// a fresh instance per resolution because policies hold per-run state.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a concurrency-safe name -> factory catalog for one policy
+// kind. The noun ("lock policy", "placement") labels error messages.
+type Registry[T any] struct {
+	noun string
+
+	mu        sync.RWMutex
+	order     []string
+	factories map[string]func() T
+}
+
+// New returns an empty registry whose errors identify entries as noun
+// (e.g. "locks: unknown lock policy ...").
+func New[T any](noun string) *Registry[T] {
+	return &Registry[T]{noun: noun, factories: make(map[string]func() T)}
+}
+
+// Register adds factory under name. Names are unique; registering an
+// existing one is an error, so an entry can never be silently replaced.
+func (r *Registry[T]) Register(name string, factory func() T) error {
+	if name == "" {
+		return fmt.Errorf("empty %s name", r.noun)
+	}
+	if factory == nil {
+		return fmt.Errorf("nil factory for %s %q", r.noun, name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		return fmt.Errorf("%s %q already registered", r.noun, name)
+	}
+	r.factories[name] = factory
+	r.order = append(r.order, name)
+	return nil
+}
+
+// MustRegister is Register that panics on error — for package init
+// blocks wiring in the built-ins.
+func (r *Registry[T]) MustRegister(name string, factory func() T) {
+	if err := r.Register(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// New builds a fresh instance of the named entry.
+func (r *Registry[T]) New(name string) (T, error) {
+	r.mu.RLock()
+	factory, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		var zero T
+		known := r.Names()
+		sort.Strings(known)
+		return zero, fmt.Errorf("unknown %s %q (known: %s)",
+			r.noun, name, strings.Join(known, ", "))
+	}
+	return factory(), nil
+}
+
+// Known reports whether name is registered.
+func (r *Registry[T]) Known(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.factories[name]
+	return ok
+}
+
+// Names returns every registered name in registration order.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"fmt"
+
+	"javasim/internal/registry"
+)
+
+// Where a waking thread's segment runs is a Placement: the discipline that
+// picks the run queue for every enqueue. The seed behavior — prefer the
+// thread's last core when free, otherwise the least-loaded queue with a
+// home-socket tie-break — is the "affinity" placement; "round-robin" and
+// "least-loaded" trade cache/NUMA locality for spread. Placements may hold
+// per-scheduler state (the round-robin cursor), so each Scheduler builds
+// its own instance through NewPlacement.
+
+// Registry names of the built-in placements.
+const (
+	// PlacementAffinity prefers the thread's last core when idle, else the
+	// least-loaded queue, breaking ties toward the home socket — the seed
+	// behavior.
+	PlacementAffinity = "affinity"
+	// PlacementRoundRobin rotates enqueues across cores regardless of load
+	// or locality.
+	PlacementRoundRobin = "round-robin"
+	// PlacementLeastLoaded always picks the shortest queue (ties to the
+	// lowest index), ignoring cache affinity and NUMA homes.
+	PlacementLeastLoaded = "least-loaded"
+)
+
+// Placement chooses the run queue for a waking thread. PickCore returns
+// an index into the scheduler's core slice (not a machine core ID).
+// Implementations run inside the single-threaded simulation and must be
+// deterministic.
+type Placement interface {
+	// Name returns the discipline's canonical name (for the built-ins,
+	// their registry name). A variant registered under a custom key still
+	// reports its family name here — the selected key travels in the
+	// config string and vm.Result.Placement.
+	Name() string
+	// PickCore returns the run-queue index thread t joins.
+	PickCore(sc *Scheduler, t *Thread) int
+}
+
+var placementRegistry = registry.New[Placement]("placement")
+
+func init() {
+	placementRegistry.MustRegister(PlacementAffinity, func() Placement { return affinityPlacement{} })
+	placementRegistry.MustRegister(PlacementRoundRobin, func() Placement { return &roundRobinPlacement{} })
+	placementRegistry.MustRegister(PlacementLeastLoaded, func() Placement { return leastLoadedPlacement{} })
+}
+
+// RegisterPlacement adds a placement factory to the registry under name.
+// The factory must return a fresh instance on every call — placements may
+// hold per-scheduler state. Names are unique; registering an existing
+// name (including the built-ins) is an error.
+func RegisterPlacement(name string, factory func() Placement) error {
+	if err := placementRegistry.Register(name, factory); err != nil {
+		return fmt.Errorf("sched: %w", err)
+	}
+	return nil
+}
+
+// NewPlacement builds a fresh instance of the named placement. The empty
+// name selects the default affinity discipline.
+func NewPlacement(name string) (Placement, error) {
+	if name == "" {
+		name = PlacementAffinity
+	}
+	p, err := placementRegistry.New(name)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	return p, nil
+}
+
+// KnownPlacement reports whether name resolves in the registry (the empty
+// name resolves to affinity).
+func KnownPlacement(name string) bool {
+	return name == "" || placementRegistry.Known(name)
+}
+
+// ValidatePlacement returns the canonical unknown-name error for a
+// placement name that does not resolve, or nil — the one error every
+// configuration layer (plans, vm config, CLI) reports, with the same
+// prefix NewPlacement uses.
+func ValidatePlacement(name string) error {
+	if KnownPlacement(name) {
+		return nil
+	}
+	_, err := NewPlacement(name)
+	return err
+}
+
+// PlacementNames returns every registered placement name in registration
+// order: the three built-ins, then user registrations.
+func PlacementNames() []string { return placementRegistry.Names() }
+
+// --- Built-in placements -----------------------------------------------
+
+type affinityPlacement struct{}
+
+func (affinityPlacement) Name() string { return PlacementAffinity }
+
+// PickCore prefers the thread's last core when that core is free,
+// otherwise the least-loaded core, breaking ties toward the thread's home
+// socket and then the lowest index (determinism).
+func (affinityPlacement) PickCore(sc *Scheduler, t *Thread) int {
+	if t.core >= 0 {
+		if idx, ok := sc.coreIndex(t.core); ok {
+			c := &sc.cores[idx]
+			if c.current == nil && len(c.queue) == 0 && sc.eligible(t) {
+				return idx
+			}
+		}
+	}
+	best, bestLoad, bestAffine := -1, int(^uint(0)>>1), false
+	for i := range sc.cores {
+		load := sc.CoreLoad(i)
+		affine := t.HomeSocket() >= 0 && sc.SocketOfCore(i) == t.HomeSocket()
+		if load < bestLoad || (load == bestLoad && affine && !bestAffine) {
+			best, bestLoad, bestAffine = i, load, affine
+		}
+	}
+	return best
+}
+
+type roundRobinPlacement struct {
+	next int
+}
+
+func (*roundRobinPlacement) Name() string { return PlacementRoundRobin }
+
+// PickCore rotates across run queues, blind to load, locality, and the
+// thread's history.
+func (p *roundRobinPlacement) PickCore(sc *Scheduler, t *Thread) int {
+	idx := p.next % len(sc.cores)
+	p.next++
+	return idx
+}
+
+type leastLoadedPlacement struct{}
+
+func (leastLoadedPlacement) Name() string { return PlacementLeastLoaded }
+
+// PickCore returns the core with the fewest resident threads, ties to the
+// lowest index.
+func (leastLoadedPlacement) PickCore(sc *Scheduler, t *Thread) int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i := range sc.cores {
+		if load := sc.CoreLoad(i); load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}

@@ -135,6 +135,10 @@ func (t *Thread) Preemptions() int64 { return t.preemptions }
 // Core returns the core the thread last ran on, or -1.
 func (t *Thread) Core() int { return t.core }
 
+// HomeSocket returns the socket of the thread's first dispatch — the NUMA
+// home of its data — or -1 before the first run.
+func (t *Thread) HomeSocket() int { return t.homeSocket }
+
 // PhaseBias configures phase-biased scheduling (future work (a)).
 type PhaseBias struct {
 	// Groups is the number of rotation groups; <= 1 disables biasing.
@@ -151,6 +155,10 @@ type Config struct {
 	Steal bool
 	// Bias enables phase-biased scheduling when Bias.Groups > 1.
 	Bias PhaseBias
+	// Placement selects the run-queue placement discipline by registry
+	// name ("affinity", "round-robin", "least-loaded", or a user
+	// registration); empty means affinity.
+	Placement string
 }
 
 // WithDefaults fills zero fields.
@@ -175,6 +183,7 @@ type Scheduler struct {
 
 	cores   []coreState // one per enabled core
 	threads []*Thread
+	place   Placement
 
 	phaseWake []*sim.Event // per core, pending phase-boundary wakeup
 	idleStart []sim.Time   // per core, when it last went idle; -1 if busy
@@ -188,15 +197,21 @@ type Scheduler struct {
 	gateOverride func() bool
 }
 
-// New builds a scheduler over the machine's currently enabled cores.
+// New builds a scheduler over the machine's currently enabled cores. An
+// unknown Config.Placement name panics — validate with KnownPlacement (or
+// resolve through NewPlacement) before constructing.
 func New(s *sim.Simulator, m *machine.Machine, cfg Config) *Scheduler {
 	cfg = cfg.WithDefaults()
 	enabled := m.EnabledCores()
 	if len(enabled) == 0 {
 		panic("sched: no enabled cores")
 	}
+	place, err := NewPlacement(cfg.Placement)
+	if err != nil {
+		panic(err.Error())
+	}
 	sc := &Scheduler{
-		sim: s, machine: m, cfg: cfg,
+		sim: s, machine: m, cfg: cfg, place: place,
 		cores:     make([]coreState, len(enabled)),
 		phaseWake: make([]*sim.Event, len(enabled)),
 		idleStart: make([]sim.Time, len(enabled)),
@@ -372,41 +387,38 @@ func (sc *Scheduler) gatedCount() int {
 	return n
 }
 
-// enqueue places t in a run queue and dispatches if a core is free.
+// enqueue places t in the run queue the placement picks and dispatches if
+// that core is free.
 func (sc *Scheduler) enqueue(t *Thread) {
 	sc.setState(t, Ready)
-	target := sc.pickCore(t)
+	target := sc.place.PickCore(sc, t)
+	if target < 0 || target >= len(sc.cores) {
+		panic(fmt.Sprintf("sched: placement %q picked core %d of %d", sc.place.Name(), target, len(sc.cores)))
+	}
 	sc.cores[target].queue = append(sc.cores[target].queue, t)
 	if sc.cores[target].current == nil {
 		sc.dispatch(target)
 	}
 }
 
-// pickCore chooses the run queue for a waking thread: its last core when
-// that core is free, otherwise the least-loaded core, breaking ties toward
-// the thread's home socket and then the lowest index (determinism).
-func (sc *Scheduler) pickCore(t *Thread) int {
-	if t.core >= 0 {
-		if idx, ok := sc.coreIndex(t.core); ok {
-			c := &sc.cores[idx]
-			if c.current == nil && len(c.queue) == 0 && sc.eligible(t) {
-				return idx
-			}
-		}
+// PlacementName returns the registry name of the scheduler's placement.
+func (sc *Scheduler) PlacementName() string { return sc.place.Name() }
+
+// CoreLoad returns the number of threads resident on scheduler core idx:
+// its queue length plus the running thread, if any. Placement
+// implementations use it to compare queues.
+func (sc *Scheduler) CoreLoad(idx int) int {
+	c := &sc.cores[idx]
+	load := len(c.queue)
+	if c.current != nil {
+		load++
 	}
-	best, bestLoad, bestAffine := -1, int(^uint(0)>>1), false
-	for i := range sc.cores {
-		c := &sc.cores[i]
-		load := len(c.queue)
-		if c.current != nil {
-			load++
-		}
-		affine := t.homeSocket >= 0 && sc.machine.SocketOf(c.id) == t.homeSocket
-		if load < bestLoad || (load == bestLoad && affine && !bestAffine) {
-			best, bestLoad, bestAffine = i, load, affine
-		}
-	}
-	return best
+	return load
+}
+
+// SocketOfCore returns the machine socket of scheduler core idx.
+func (sc *Scheduler) SocketOfCore(idx int) int {
+	return sc.machine.SocketOf(sc.cores[idx].id)
 }
 
 func (sc *Scheduler) coreIndex(coreID int) (int, bool) {

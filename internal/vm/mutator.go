@@ -203,33 +203,67 @@ func (v *vm) acquireThen(m *mutator, mon *locks.Monitor, hold sim.Time, then fun
 }
 
 // acquireOwned takes mon for m and calls owned once the monitor is held.
-// On contention the mutator parks; the eventual handoff resumes it.
+// The contention policy decides the contended path: park until a handoff
+// or competitive wakeup, or spin a CPU budget and retry.
 func (v *vm) acquireOwned(m *mutator, mon *locks.Monitor, owned func()) {
-	if v.locks.Acquire(mon, locks.ThreadID(m.idx), v.sim.Now()) == locks.Acquired {
-		owned()
-		return
-	}
-	v.setMutatorState(m, stLockWait)
-	m.resume = func() {
-		m.resume = nil
-		v.setMutatorState(m, stRunning)
-		owned()
-	}
-	v.sched.Block(m.th)
-	v.maybeStartGC()
+	v.attemptAcquire(m, mon, owned, false)
 }
 
-// releaseMonitor releases mon and wakes the next waiter if ownership was
-// handed off.
-func (v *vm) releaseMonitor(m *mutator, mon *locks.Monitor) {
-	next, handoff := v.locks.Release(mon, locks.ThreadID(m.idx), v.sim.Now())
-	if !handoff {
-		return
+// attemptAcquire drives one acquisition attempt (or, with retry set, a
+// re-attempt after a spin or competitive wakeup) to rest: owned runs once
+// the monitor is held; a Spinning outcome burns the policy's budget as a
+// CPU segment — charged to mutator time, like a real busy-wait — before
+// retrying; a Parked outcome blocks the thread until releaseMonitor
+// either grants it the monitor (resume) or wakes it to race (lockRetry).
+func (v *vm) attemptAcquire(m *mutator, mon *locks.Monitor, owned func(), retry bool) {
+	tid := locks.ThreadID(m.idx)
+	now := v.sim.Now()
+	var out locks.Outcome
+	if retry {
+		out = v.locks.Retry(mon, tid, now)
+	} else {
+		out = v.locks.Acquire(mon, tid, now)
 	}
-	other := v.mutators[int(next)]
-	v.sched.Unblock(other.th)
-	resume := other.resume
-	v.sched.Submit(other.th, 0, resume)
+	switch out.Kind {
+	case locks.Acquired:
+		owned()
+	case locks.Spinning:
+		v.sched.Submit(m.th, out.Spin, func() { v.attemptAcquire(m, mon, owned, true) })
+	case locks.Parked:
+		v.setMutatorState(m, stLockWait)
+		m.resume = func() {
+			m.resume, m.lockRetry = nil, nil
+			v.setMutatorState(m, stRunning)
+			owned()
+		}
+		m.lockRetry = func() {
+			m.resume, m.lockRetry = nil, nil
+			v.setMutatorState(m, stRunning)
+			v.attemptAcquire(m, mon, owned, true)
+		}
+		v.sched.Block(m.th)
+		v.maybeStartGC()
+	default:
+		panic("vm: unknown lock outcome")
+	}
+}
+
+// releaseMonitor releases mon, wakes the thread the policy handed the
+// monitor to (if any), and wakes every competitive waiter to re-attempt.
+func (v *vm) releaseMonitor(m *mutator, mon *locks.Monitor) {
+	h := v.locks.Release(mon, locks.ThreadID(m.idx), v.sim.Now())
+	if h.Direct {
+		other := v.mutators[int(h.Next)]
+		v.sched.Unblock(other.th)
+		resume := other.resume
+		v.sched.Submit(other.th, 0, resume)
+	}
+	for _, w := range h.Retry {
+		other := v.mutators[int(w.ID)]
+		v.sched.Unblock(other.th)
+		retry := other.lockRetry
+		v.sched.Submit(other.th, 0, retry)
+	}
 }
 
 // --- Phase barrier ------------------------------------------------------

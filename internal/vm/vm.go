@@ -47,8 +47,13 @@ type Config struct {
 	// heuristic for the enabled core count.
 	GC gc.Config
 	// Sched configures the scheduler, including phase-bias (future-work
-	// (a)). Steal defaults to on.
+	// (a)) and the placement discipline (Sched.Placement registry name;
+	// empty means affinity). Steal defaults to on.
 	Sched sched.Config
+	// LockPolicy selects the contended-monitor discipline by locks
+	// registry name ("fifo", "barging", "spin-then-park", "restricted",
+	// or a user registration); empty means fifo, the paper's baseline.
+	LockPolicy string
 	// Seed drives all stochastic choices; equal seeds reproduce runs
 	// bit-for-bit.
 	Seed uint64
@@ -116,6 +121,12 @@ func (c Config) withDefaults() Config {
 	if c.Iterations < 1 {
 		c.Iterations = 1
 	}
+	if c.LockPolicy == "" {
+		c.LockPolicy = locks.PolicyFIFO
+	}
+	if c.Sched.Placement == "" {
+		c.Sched.Placement = sched.PlacementAffinity
+	}
 	c.Sched.Steal = true
 	return c
 }
@@ -126,6 +137,11 @@ type Result struct {
 	Workload string
 	Threads  int
 	Cores    int
+
+	// LockPolicy and Placement are the resolved contention-policy names
+	// the run executed under, so reports can label ablation series.
+	LockPolicy string
+	Placement  string
 
 	// TotalTime is the virtual wall-clock duration of the run; it splits
 	// exactly into MutatorTime and GCTime (stop-the-world, including
@@ -170,9 +186,12 @@ type Result struct {
 	// PerThreadUnits is the §III work-distribution table: units executed
 	// by each mutator thread, summed across iterations.
 	PerThreadUnits []int64
-	// PerThreadCPU and PerThreadReadyWait expose scheduling behavior.
+	// PerThreadCPU, PerThreadReadyWait, and PerThreadBlocked expose
+	// scheduling behavior; blocked time covers lock parks, barriers, and
+	// safepoints (a spin-then-park spin is CPU, not blocked time).
 	PerThreadCPU       []sim.Time
 	PerThreadReadyWait []sim.Time
+	PerThreadBlocked   []sim.Time
 
 	Utilization float64
 }
@@ -219,6 +238,11 @@ type mutator struct {
 	// resume continues the mutator after a lock handoff grants it the
 	// monitor it blocked on, or after a stop-the-world resume.
 	resume func()
+
+	// lockRetry re-attempts a parked acquisition after a competitive
+	// wakeup (barging): the monitor was freed, not handed over, and the
+	// thread must race for it again.
+	lockRetry func()
 
 	// gcRetries counts consecutive allocation failures; repeated failure
 	// after collections is an OutOfMemoryError.
@@ -315,6 +339,16 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// Resolve the contention policies up front so an unknown name is a
+	// configuration error, not a panic mid-simulation. The placement is
+	// only checked here — sched.New resolves its own instance.
+	policy, err := locks.NewPolicy(cfg.LockPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
+	if err := sched.ValidatePlacement(cfg.Sched.Placement); err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
 	run, err := workload.NewRun(spec, cfg.Threads, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -356,7 +390,7 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 	if cfg.LockProfiler != nil {
 		lockListener = cfg.LockProfiler
 	}
-	table := locks.NewTable(lockListener)
+	table := locks.NewTableWithPolicy(policy, lockListener)
 
 	v := &vm{
 		cfg: cfg, spec: spec,
@@ -506,6 +540,8 @@ func (v *vm) result() *Result {
 		Workload:         v.spec.Name,
 		Threads:          v.cfg.Threads,
 		Cores:            v.cfg.Cores,
+		LockPolicy:       v.cfg.LockPolicy,
+		Placement:        v.cfg.Sched.Placement,
 		TotalTime:        v.endTime,
 		GCTime:           v.gcTime,
 		MutatorTime:      v.endTime - v.gcTime,
@@ -540,6 +576,7 @@ func (v *vm) result() *Result {
 	for _, m := range v.mutators {
 		res.PerThreadCPU = append(res.PerThreadCPU, m.th.CPUTime())
 		res.PerThreadReadyWait = append(res.PerThreadReadyWait, m.th.ReadyWait())
+		res.PerThreadBlocked = append(res.PerThreadBlocked, m.th.BlockedTime())
 	}
 	return res
 }

@@ -51,6 +51,17 @@
 // experiment matrices live in files and run with cmd/javasim -plan. The
 // paper's own figure suite is the built-in PaperPlan.
 //
+// # Contention policies
+//
+// The mechanisms the paper treats as fixed JVM behavior are swappable
+// policies resolved from string-keyed registries: Config.LockPolicy
+// selects the contended-monitor discipline ("fifo" — the paper's
+// baseline — "barging", "spin-then-park", or "restricted"), and
+// Config.Sched.Placement selects the scheduler's run-queue placement
+// ("affinity", "round-robin", or "least-loaded"). Plans select the same
+// names per scenario, so one plan A/Bs lock disciplines, and custom
+// policies join through RegisterLockPolicy / RegisterPlacement.
+//
 // Runs are deterministic: the same Config.Seed reproduces a run
 // bit-for-bit, whether points execute sequentially or across the worker
 // pool. Identical runs requested twice (by figures, studies, or
@@ -65,8 +76,10 @@ import (
 
 	"javasim/internal/core"
 	"javasim/internal/lockprof"
+	"javasim/internal/locks"
 	"javasim/internal/metrics"
 	"javasim/internal/report"
+	"javasim/internal/sched"
 	"javasim/internal/sim"
 	"javasim/internal/trace"
 	"javasim/internal/vm"
@@ -305,6 +318,95 @@ func LookupWorkload(name string) (Spec, bool) { return workload.Lookup(name) }
 // PaperBenchmarks returns the six DaCapo-9.12 workload models in the
 // paper's order: the scalable trio, then the non-scalable trio.
 func PaperBenchmarks() []Spec { return workload.PaperSet() }
+
+// Contention-policy types. The contended-monitor discipline and the
+// scheduler's thread-placement discipline are pluggable: built-ins are
+// selected by registry name through Config.LockPolicy and
+// Config.Sched.Placement (or the matching plan fields), and custom
+// implementations join the registries below.
+type (
+	// LockPolicy is the contended-monitor discipline of a run: what a
+	// thread does when it finds a monitor held, and who gets the monitor
+	// on release.
+	LockPolicy = locks.Policy
+	// Placement chooses the run queue for every waking thread.
+	Placement = sched.Placement
+)
+
+// Registry names of the built-in lock policies.
+const (
+	// LockPolicyFIFO parks contenders FIFO with direct handoff — the
+	// paper's baseline (HotSpot-style) discipline and the default.
+	LockPolicyFIFO = locks.PolicyFIFO
+	// LockPolicyBarging frees the monitor on release and lets woken
+	// waiters and latecomers race for it.
+	LockPolicyBarging = locks.PolicyBarging
+	// LockPolicySpinThenPark busy-waits a virtual-time budget before
+	// parking; the spin is charged as mutator CPU.
+	LockPolicySpinThenPark = locks.PolicySpinThenPark
+	// LockPolicyRestricted caps the threads circulating over a monitor,
+	// per Dice & Kogan's concurrency restriction.
+	LockPolicyRestricted = locks.PolicyRestricted
+)
+
+// Registry names of the built-in placements.
+const (
+	// PlacementAffinity prefers a thread's last core, then least-loaded
+	// with a home-socket tie-break — the default.
+	PlacementAffinity = sched.PlacementAffinity
+	// PlacementRoundRobin rotates wakeups across cores.
+	PlacementRoundRobin = sched.PlacementRoundRobin
+	// PlacementLeastLoaded always picks the shortest run queue.
+	PlacementLeastLoaded = sched.PlacementLeastLoaded
+)
+
+// RegisterLockPolicy adds a lock-policy factory to the registry, making
+// it selectable by name through Config.LockPolicy, plan files, and
+// cmd/javasim -lock-policy. The factory must return a fresh instance per
+// call (policies hold per-run state); names are unique and registering an
+// existing one — including the built-ins — is an error.
+//
+// Tuned variants of the built-ins are buildable anywhere via
+// SpinThenParkPolicy and RestrictedPolicy. Policies with novel
+// disciplines implement the Policy interface against internal/locks
+// types, so they can only be authored inside this module.
+func RegisterLockPolicy(name string, factory func() LockPolicy) error {
+	return locks.RegisterPolicy(name, factory)
+}
+
+// LockPolicyNames returns every registered lock-policy name in
+// registration order: the four built-ins, then user registrations.
+func LockPolicyNames() []string { return locks.PolicyNames() }
+
+// RegisterPlacement adds a placement factory to the registry, making it
+// selectable by name through Config.Sched.Placement, plan files, and
+// cmd/javasim -placement. The same uniqueness, freshness, and
+// in-module-authorship rules as RegisterLockPolicy apply.
+func RegisterPlacement(name string, factory func() Placement) error {
+	return sched.RegisterPlacement(name, factory)
+}
+
+// PlacementNames returns every registered placement name in registration
+// order: the three built-ins, then user registrations.
+func PlacementNames() []string { return sched.PlacementNames() }
+
+// SpinThenParkPolicy builds a spin-then-park lock policy with a custom
+// busy-wait budget — register tuned variants under their own names, e.g.
+// RegisterLockPolicy("spin-10us", func() LockPolicy {
+// return SpinThenParkPolicy(10 * Microsecond) }).
+func SpinThenParkPolicy(budget Time) LockPolicy { return locks.SpinThenPark(budget) }
+
+// RestrictedPolicy builds a concurrency-restricting lock policy with a
+// custom circulating-set cap (the built-in "restricted" uses 4).
+func RestrictedPolicy(cap int) LockPolicy { return locks.Restricted(cap) }
+
+// Virtual-time units, for policy budgets and config durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
 
 // Benchmarks returns the six DaCapo-9.12 workload models in the paper's
 // order: the scalable trio, then the non-scalable trio.

@@ -3,6 +3,7 @@ package javasim_test
 import (
 	"context"
 	"os"
+	"strings"
 	"testing"
 
 	"javasim"
@@ -13,12 +14,16 @@ func TestFacadeRun(t *testing.T) {
 	if !ok {
 		t.Fatal("xalan missing")
 	}
-	res, err := javasim.Run(spec.Scale(0.02), javasim.Config{Threads: 4, Seed: 1})
+	eng := javasim.NewEngine()
+	res, err := eng.Run(context.Background(), spec.Scale(0.02), javasim.Config{Threads: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.TotalTime <= 0 || res.ObjectsAllocated == 0 {
 		t.Errorf("degenerate result %+v", res)
+	}
+	if res.LockPolicy != javasim.LockPolicyFIFO || res.Placement != javasim.PlacementAffinity {
+		t.Errorf("default run labeled %s/%s, want fifo/affinity", res.LockPolicy, res.Placement)
 	}
 }
 
@@ -39,10 +44,6 @@ func TestFacadeBenchmarks(t *testing.T) {
 	if _, ok := javasim.LookupWorkload("nope"); ok {
 		t.Error("unknown benchmark found")
 	}
-	// The deprecated accessors stay wired to the registry.
-	if got := javasim.Benchmarks(); len(got) != 6 || got[0].Name != bs[0].Name {
-		t.Errorf("deprecated Benchmarks() diverged from PaperBenchmarks()")
-	}
 }
 
 func TestFacadeWorkloadRegistry(t *testing.T) {
@@ -55,7 +56,9 @@ func TestFacadeWorkloadRegistry(t *testing.T) {
 	}
 	custom, _ := javasim.LookupWorkload("xalan")
 	custom.Name = "facade-custom"
-	if err := javasim.RegisterWorkload(custom); err != nil {
+	// The registry is process-global: tolerate the leftover from a
+	// previous in-process run (go test -count=2).
+	if err := javasim.RegisterWorkload(custom); err != nil && !strings.Contains(err.Error(), "already registered") {
 		t.Fatal(err)
 	}
 	if err := javasim.RegisterWorkload(custom); err == nil {
@@ -69,6 +72,45 @@ func TestFacadeWorkloadRegistry(t *testing.T) {
 	}
 	if !found {
 		t.Error("registered workload missing from Workloads()")
+	}
+}
+
+func TestFacadePolicyRegistries(t *testing.T) {
+	locks := javasim.LockPolicyNames()
+	if len(locks) < 4 || locks[0] != javasim.LockPolicyFIFO || locks[3] != javasim.LockPolicyRestricted {
+		t.Fatalf("lock policies = %v", locks)
+	}
+	places := javasim.PlacementNames()
+	if len(places) < 3 || places[0] != javasim.PlacementAffinity {
+		t.Fatalf("placements = %v", places)
+	}
+	if err := javasim.RegisterLockPolicy(javasim.LockPolicyFIFO, func() javasim.LockPolicy {
+		return javasim.RestrictedPolicy(2)
+	}); err == nil {
+		t.Error("duplicate lock-policy registration succeeded")
+	}
+	if err := javasim.RegisterPlacement(javasim.PlacementAffinity, nil); err == nil {
+		t.Error("duplicate placement registration succeeded")
+	}
+
+	// A tuned custom policy registers under its own name and is then
+	// selectable like a built-in. The registry is process-global, so a
+	// repeated in-process run (go test -count=2) finds it already there.
+	err := javasim.RegisterLockPolicy("facade-spin-10us", func() javasim.LockPolicy {
+		return javasim.SpinThenParkPolicy(10 * javasim.Microsecond)
+	})
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	spec, _ := javasim.LookupWorkload("xalan")
+	eng := javasim.NewEngine()
+	res, err := eng.Run(context.Background(), spec.Scale(0.02),
+		javasim.Config{Threads: 4, Seed: 1, LockPolicy: "facade-spin-10us"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LockPolicy != "facade-spin-10us" {
+		t.Errorf("run labeled %q", res.LockPolicy)
 	}
 }
 
@@ -106,9 +148,68 @@ func TestFacadePlanFile(t *testing.T) {
 	}
 }
 
+// TestFacadePolicyPlanFile executes the lock-policy ablation plan — four
+// disciplines over the server workload — and asserts the Dice & Kogan
+// effect the redesign exists to surface: the restricted policy shows
+// lower contention growth than fifo at the highest thread count, and the
+// compare report labels the modified column with its policy.
+func TestFacadePolicyPlanFile(t *testing.T) {
+	f, err := os.Open("testdata/policies.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := javasim.LoadPlan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Scenarios) != 4 {
+		t.Fatalf("scenarios = %d, want 4 (one per policy)", len(plan.Scenarios))
+	}
+	eng := javasim.NewEngine()
+	pr, err := eng.RunPlan(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sweepOf := func(name string) *javasim.Sweep {
+		sc := pr.Scenario(name)
+		if sc == nil {
+			t.Fatalf("scenario %q missing", name)
+		}
+		return sc.Sweep()
+	}
+	fifo, restricted := sweepOf("server-fifo"), sweepOf("server-restricted")
+	fifoLast := fifo.Points[len(fifo.Points)-1].Result
+	restrLast := restricted.Points[len(restricted.Points)-1].Result
+	if restrLast.LockContentions >= fifoLast.LockContentions {
+		t.Errorf("restricted contentions %d >= fifo %d at %d threads",
+			restrLast.LockContentions, fifoLast.LockContentions, fifoLast.Threads)
+	}
+	fg := fifo.ComputeFactors().ContentionGrowth
+	rg := restricted.ComputeFactors().ContentionGrowth
+	if rg >= fg {
+		t.Errorf("restricted ContentionGrowth %.2fx >= fifo %.2fx", rg, fg)
+	}
+
+	var compare *javasim.Table
+	for _, tb := range pr.Reports {
+		if strings.Contains(tb.Title, "Concurrency restriction") {
+			compare = tb
+		}
+	}
+	if compare == nil {
+		t.Fatal("compare report missing")
+	}
+	if compare.Headers[2] != "modified [restricted]" {
+		t.Errorf("compare header = %q, want policy label", compare.Headers[2])
+	}
+}
+
 func TestFacadeSweepAndSuite(t *testing.T) {
+	eng := javasim.NewEngine()
 	spec, _ := javasim.LookupWorkload("jython")
-	sw, err := javasim.RunSweep(spec.Scale(0.02), javasim.SweepConfig{
+	sw, err := eng.Sweep(context.Background(), spec.Scale(0.02), javasim.SweepConfig{
 		ThreadCounts: []int{2, 4},
 	})
 	if err != nil {
@@ -117,7 +218,7 @@ func TestFacadeSweepAndSuite(t *testing.T) {
 	if len(sw.Points) != 2 {
 		t.Errorf("points = %d", len(sw.Points))
 	}
-	suite := javasim.NewSuite(javasim.ExperimentConfig{
+	suite := eng.Suite(javasim.ExperimentConfig{
 		ThreadCounts: []int{2, 4},
 		Scale:        0.02,
 	})
@@ -133,7 +234,9 @@ func TestFacadeSweepAndSuite(t *testing.T) {
 func TestFacadeLockProfiler(t *testing.T) {
 	spec, _ := javasim.LookupWorkload("h2")
 	prof := javasim.NewLockProfiler()
-	_, err := javasim.Run(spec.Scale(0.02), javasim.Config{Threads: 4, Seed: 1, LockProfiler: prof})
+	eng := javasim.NewEngine()
+	_, err := eng.Run(context.Background(), spec.Scale(0.02),
+		javasim.Config{Threads: 4, Seed: 1, LockProfiler: prof})
 	if err != nil {
 		t.Fatal(err)
 	}
