@@ -9,7 +9,7 @@
 //	javasim -workload xalan -threads 16 [-heap-factor 3] [-seed 42]
 //	        [-scale 1.0] [-compartments 4] [-bias-groups 2]
 //	        [-lock-policy restricted] [-placement round-robin]
-//	        [-trace out.trace] [-lockprof] [-v]
+//	        [-gc-policy concurrent] [-trace out.trace] [-lockprof] [-v]
 //	javasim -plan plan.json [-parallel 8] [-progress]
 //	javasim -list
 package main
@@ -48,6 +48,7 @@ func main() {
 		biasPhase    = flag.Duration("bias-phase", 0, "phase length for biased scheduling (default 2ms)")
 		lockPolicy   = flag.String("lock-policy", "", "contended-monitor discipline: "+strings.Join(javasim.LockPolicyNames(), ", ")+" (default fifo)")
 		placement    = flag.String("placement", "", "run-queue placement: "+strings.Join(javasim.PlacementNames(), ", ")+" (default affinity)")
+		gcPolicy     = flag.String("gc-policy", "", "collection discipline: "+strings.Join(javasim.GCPolicyNames(), ", ")+" (default stw-serial)")
 		traceOut     = flag.String("trace", "", "write an Elephant-Tracks-style binary trace to this file")
 		lockprofFlag = flag.Bool("lockprof", false, "print the DTrace-style lock profile")
 		verbose      = flag.Bool("v", false, "print per-thread detail")
@@ -100,6 +101,7 @@ func main() {
 		Compartments: *compartments,
 		Iterations:   *iterations,
 		LockPolicy:   *lockPolicy,
+		GCPolicy:     *gcPolicy,
 	}
 	cfg.Sched.Placement = *placement
 	if *biasGroups > 1 {
@@ -137,7 +139,7 @@ func main() {
 
 	fmt.Printf("workload      %s (scale %.2f)\n", res.Workload, *scale)
 	fmt.Printf("threads/cores %d/%d\n", res.Threads, res.Cores)
-	fmt.Printf("policies      lock=%s placement=%s\n", res.LockPolicy, res.Placement)
+	fmt.Printf("policies      lock=%s placement=%s gc=%s\n", res.LockPolicy, res.Placement, res.GCPolicy)
 	fmt.Printf("total time    %v\n", res.TotalTime)
 	fmt.Printf("mutator time  %v\n", res.MutatorTime)
 	fmt.Printf("gc time       %v (%.1f%%, safepoints %v)\n", res.GCTime, 100*res.GCShare(), res.SafepointTime)

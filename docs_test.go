@@ -1,0 +1,52 @@
+package javasim_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target) markdown links; images share the shape.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinks walks README.md and docs/ and fails on any relative link
+// whose target does not exist — the docs-link check CI runs, kept in the
+// test suite so a doc rename cannot silently strand its references.
+func TestDocsLinks(t *testing.T) {
+	files := []string{"README.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatalf("docs directory missing: %v", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected README plus at least three docs guides, found %v", files)
+	}
+
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; availability is not this test's business
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead relative link %q (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}

@@ -4,9 +4,18 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
 
 	"javasim"
 )
+
+// tolerateDup ignores the duplicate-registration error the process-global
+// registries return when examples rerun in one binary (go test -count=2).
+func tolerateDup(err error) {
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		panic(err)
+	}
+}
 
 // ExampleEngine_Run executes one benchmark configuration through an
 // engine and reads the paper's three headline measurements.
@@ -59,6 +68,90 @@ func ExampleConfig_lockPolicy() {
 	restricted := run(javasim.LockPolicyRestricted)
 	fmt.Println("restricted tames contention:", restricted.LockContentions < fifo.LockContentions)
 	// Output: restricted tames contention: true
+}
+
+// ExampleRegisterWorkload registers a custom application model under its
+// own name, after which plans, the suite, and the CLI resolve it like a
+// built-in. (docs/extending.md, "Custom workloads".)
+func ExampleRegisterWorkload() {
+	spec, _ := javasim.LookupWorkload("xalan")
+	spec.Name = "docs-miniapp"
+	tolerateDup(javasim.RegisterWorkload(spec))
+	reg, ok := javasim.LookupWorkload("docs-miniapp")
+	fmt.Println("registered:", ok && reg.Name == "docs-miniapp")
+	// Output: registered: true
+}
+
+// ExampleRegisterLockPolicy registers a tuned spin-then-park variant and
+// selects it by name; the Result records the selected name.
+// (docs/extending.md, "Custom lock policies".)
+func ExampleRegisterLockPolicy() {
+	tolerateDup(javasim.RegisterLockPolicy("docs-spin-10us", func() javasim.LockPolicy {
+		return javasim.SpinThenParkPolicy(10 * javasim.Microsecond)
+	}))
+	eng := javasim.NewEngine()
+	spec, _ := javasim.LookupWorkload("server")
+	res, err := eng.Run(context.Background(), spec.Scale(0.05),
+		javasim.Config{Threads: 8, Seed: 42, LockPolicy: "docs-spin-10us"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ran under:", res.LockPolicy)
+	// Output: ran under: docs-spin-10us
+}
+
+// ExampleRegisterGCPolicy registers a tuned stw-parallel variant with a
+// harsher synchronization tax and selects it by name.
+// (docs/extending.md, "Custom GC policies".)
+func ExampleRegisterGCPolicy() {
+	tolerateDup(javasim.RegisterGCPolicy("docs-stw-parallel-10us", func() javasim.GCPolicy {
+		return javasim.ParallelGCPolicy(0.02, 10*javasim.Microsecond)
+	}))
+	eng := javasim.NewEngine()
+	spec, _ := javasim.LookupWorkload("xalan")
+	res, err := eng.Run(context.Background(), spec.Scale(0.05),
+		javasim.Config{Threads: 8, Seed: 42, GCPolicy: "docs-stw-parallel-10us"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ran under:", res.GCPolicy)
+	// Output: ran under: docs-stw-parallel-10us
+}
+
+// ExampleConfig_gcPolicy A/Bs two collection disciplines on the same
+// workload and seed: the paper's stop-the-world throughput collector
+// against NUMA-homed per-group heap compartments, whose slice-local
+// collections are more numerous but individually smaller.
+func ExampleConfig_gcPolicy() {
+	eng := javasim.NewEngine()
+	spec, _ := javasim.LookupWorkload("xalan")
+	run := func(policy string) *javasim.Result {
+		res, err := eng.Run(context.Background(), spec.Scale(0.1),
+			javasim.Config{Threads: 24, Seed: 42, GCPolicy: policy})
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+	serial := run(javasim.GCPolicyStwSerial)
+	comp := run(javasim.GCPolicyCompartment)
+	fmt.Println("compartment slices collections:", len(comp.GCPauses) > len(serial.GCPauses))
+	// Output: compartment slices collections: true
+}
+
+// ExampleConfig_placement selects a scheduler placement by registry name
+// (docs/extending.md, "Custom placements").
+func ExampleConfig_placement() {
+	eng := javasim.NewEngine()
+	spec, _ := javasim.LookupWorkload("jython")
+	cfg := javasim.Config{Threads: 4, Seed: 42}
+	cfg.Sched.Placement = javasim.PlacementRoundRobin
+	res, err := eng.Run(context.Background(), spec.Scale(0.05), cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ran under:", res.Placement)
+	// Output: ran under: round-robin
 }
 
 // ExampleSuite_Fig1d regenerates one of the paper's figures as a table.

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 
+	"javasim/internal/gc"
 	"javasim/internal/locks"
 	"javasim/internal/report"
 	"javasim/internal/sched"
@@ -81,6 +83,15 @@ type ConfigOverrides struct {
 	// registry name ("affinity", "round-robin", "least-loaded"); empty
 	// inherits the plan's (ultimately affinity).
 	Placement string `json:",omitempty"`
+	// GCPolicy selects the collection discipline by gc registry name
+	// ("stw-serial", "stw-parallel", "concurrent", "compartment"); empty
+	// inherits the plan's (ultimately stw-serial). Unknown names are
+	// rejected at plan-load time.
+	GCPolicy string `json:",omitempty"`
+	// NewRatio and SurvivorRatio override the heap's generation split
+	// (HotSpot defaults 2 and 8) — the heap-sizing ablation knobs.
+	NewRatio      int `json:",omitempty"`
+	SurvivorRatio int `json:",omitempty"`
 }
 
 // apply writes the non-zero overrides onto a vm.Config.
@@ -125,6 +136,15 @@ func (o *ConfigOverrides) apply(cfg *vm.Config) {
 	if o.Placement != "" {
 		cfg.Sched.Placement = o.Placement
 	}
+	if o.GCPolicy != "" {
+		cfg.GCPolicy = o.GCPolicy
+	}
+	if o.NewRatio != 0 {
+		cfg.NewRatio = o.NewRatio
+	}
+	if o.SurvivorRatio != 0 {
+		cfg.SurvivorRatio = o.SurvivorRatio
+	}
 }
 
 // validate reports structurally impossible overrides.
@@ -150,10 +170,16 @@ func (o *ConfigOverrides) validate() error {
 	if o.GCTriggerRatio < 0 || o.GCTriggerRatio > 1 {
 		return fmt.Errorf("GCTriggerRatio = %v", o.GCTriggerRatio)
 	}
+	if o.NewRatio < 0 || o.SurvivorRatio < 0 {
+		return fmt.Errorf("negative heap ratio override")
+	}
 	if err := locks.ValidatePolicy(o.LockPolicy); err != nil {
 		return err
 	}
 	if err := sched.ValidatePlacement(o.Placement); err != nil {
+		return err
+	}
+	if err := gc.ValidatePolicy(o.GCPolicy); err != nil {
 		return err
 	}
 	return nil
@@ -341,14 +367,29 @@ type ReportSpec struct {
 	Metric Metric `json:",omitempty"`
 	// Scenarios are the contributing scenario names, in row order; empty
 	// means every scenario in plan order. lifespan-cdf takes exactly one.
+	// For compare, Scenarios (>= 2, first is the baseline) is the
+	// multi-column alternative to the Baseline/Modified pair — the shape
+	// of a whole policy ablation in one table.
 	Scenarios []string `json:",omitempty"`
 	// LowThreads/HighThreads pick the lifespan-cdf panel's two counts;
 	// zero selects the scenario's first/last thread count.
 	LowThreads  int `json:",omitempty"`
 	HighThreads int `json:",omitempty"`
-	// Baseline and Modified name the two scenarios of a compare report.
+	// Baseline and Modified name the two scenarios of a two-column
+	// compare report; leave both empty and list Scenarios instead for a
+	// multi-column compare.
 	Baseline string `json:",omitempty"`
 	Modified string `json:",omitempty"`
+}
+
+// compareScenarios resolves the columns of a compare report: the
+// Baseline/Modified pair, or the explicit Scenarios list (first entry is
+// the baseline).
+func (rs *ReportSpec) compareScenarios() []string {
+	if rs.Baseline != "" || rs.Modified != "" {
+		return []string{rs.Baseline, rs.Modified}
+	}
+	return rs.Scenarios
 }
 
 // validate checks a report against the plan's scenario set.
@@ -402,14 +443,22 @@ func (rs *ReportSpec) validate(scenarios map[string]bool) error {
 		}
 	case ReportMutatorGC, ReportClassification, ReportWorkDistribution, ReportFactors:
 	case ReportCompare:
-		if rs.Baseline == "" || rs.Modified == "" {
+		switch {
+		case rs.Baseline == "" && rs.Modified == "":
+			if len(rs.Scenarios) < 2 {
+				return fmt.Errorf("core: report %q: compare needs Baseline and Modified, or at least two Scenarios", rs.Name)
+			}
+		case rs.Baseline == "" || rs.Modified == "":
 			return fmt.Errorf("core: report %q: compare needs Baseline and Modified", rs.Name)
-		}
-		if err := ref(rs.Baseline); err != nil {
-			return err
-		}
-		if err := ref(rs.Modified); err != nil {
-			return err
+		case len(rs.Scenarios) > 0:
+			return fmt.Errorf("core: report %q: compare takes either Baseline/Modified or Scenarios, not both", rs.Name)
+		default:
+			if err := ref(rs.Baseline); err != nil {
+				return err
+			}
+			if err := ref(rs.Modified); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -424,12 +473,13 @@ type Plan struct {
 	Seed         uint64  `json:",omitempty"`
 	Scale        float64 `json:",omitempty"`
 	ThreadCounts []int   `json:",omitempty"`
-	// LockPolicy and Placement are the contention-policy defaults every
+	// LockPolicy, Placement, and GCPolicy are the policy defaults every
 	// scenario inherits; a scenario's ConfigOverrides take precedence.
-	// Empty means fifo/affinity, the paper's baseline. Unknown names are
-	// rejected at plan-load time.
+	// Empty means fifo/affinity/stw-serial, the paper's baseline.
+	// Unknown names are rejected at plan-load time.
 	LockPolicy string `json:",omitempty"`
 	Placement  string `json:",omitempty"`
+	GCPolicy   string `json:",omitempty"`
 	// Scenarios are the experiments, executed through the engine's pool.
 	Scenarios []Scenario
 	// Reports are the cross-scenario artifacts, rendered in order once
@@ -454,6 +504,9 @@ func (p *Plan) Validate() error {
 		return fmt.Errorf("core: plan %q: %w", p.Name, err)
 	}
 	if err := sched.ValidatePlacement(p.Placement); err != nil {
+		return fmt.Errorf("core: plan %q: %w", p.Name, err)
+	}
+	if err := gc.ValidatePolicy(p.GCPolicy); err != nil {
 		return fmt.Errorf("core: plan %q: %w", p.Name, err)
 	}
 	names := make(map[string]bool, len(p.Scenarios))
@@ -495,9 +548,9 @@ func (p *Plan) Validate() error {
 	return nil
 }
 
-// checkCompareThreads rejects compare reports whose two scenarios top out
-// at different thread counts: the contrast would mix a config delta with
-// a thread-count delta and silently mislead.
+// checkCompareThreads rejects compare reports whose scenarios top out at
+// different thread counts: the contrast would mix a config delta with a
+// thread-count delta and silently mislead.
 func (p *Plan) checkCompareThreads(rs *ReportSpec) error {
 	top := func(name string) int {
 		for i := range p.Scenarios {
@@ -508,10 +561,13 @@ func (p *Plan) checkCompareThreads(rs *ReportSpec) error {
 		}
 		return 0
 	}
-	b, m := top(rs.Baseline), top(rs.Modified)
-	if b != m {
-		return fmt.Errorf("core: report %q: baseline %q tops out at %d threads but modified %q at %d — compare contrasts the largest points, which must match",
-			rs.Name, rs.Baseline, b, rs.Modified, m)
+	names := rs.compareScenarios()
+	base := top(names[0])
+	for _, name := range names[1:] {
+		if m := top(name); m != base {
+			return fmt.Errorf("core: report %q: %q tops out at %d threads but %q at %d — compare contrasts the largest points, which must match",
+				rs.Name, names[0], base, name, m)
+		}
 	}
 	return nil
 }
@@ -724,7 +780,7 @@ func (e *Engine) runScenario(ctx context.Context, p *Plan, sc *Scenario) (*Scena
 	}
 	counts := sc.threadCounts(p)
 	seed := sc.seed(p)
-	base := vm.Config{Seed: seed, LockPolicy: p.LockPolicy}
+	base := vm.Config{Seed: seed, LockPolicy: p.LockPolicy, GCPolicy: p.GCPolicy}
 	base.Sched.Placement = p.Placement
 	sc.Overrides.apply(&base)
 
@@ -825,15 +881,24 @@ func renderReport(p *Plan, rs *ReportSpec, byName map[string]*ScenarioResult) (*
 	case ReportFactors:
 		t = renderFactors(picked, sweeps)
 	case ReportCompare:
+		names := rs.compareScenarios()
 		title := rs.Title
 		if title == "" {
-			title = fmt.Sprintf("Compare — %s vs %s", rs.Baseline, rs.Modified)
+			title = "Compare — " + strings.Join(names, " vs ")
 		}
-		base := byName[rs.Baseline].Sweep()
-		mod := byName[rs.Modified].Sweep()
-		t = renderCompare(title, rs.Note,
-			base.Points[len(base.Points)-1].Result,
-			mod.Points[len(mod.Points)-1].Result)
+		last := func(name string) *vm.Result {
+			sw := byName[name].Sweep()
+			return sw.Points[len(sw.Points)-1].Result
+		}
+		if rs.Baseline != "" {
+			t = renderCompare(title, rs.Note, last(rs.Baseline), last(rs.Modified))
+		} else {
+			results := make([]*vm.Result, len(names))
+			for i, name := range names {
+				results[i] = last(name)
+			}
+			t = renderCompareColumns(title, rs.Note, names, results)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown report kind %q", rs.Kind)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"javasim/internal/gc"
 	"javasim/internal/locks"
 	"javasim/internal/metrics"
 	"javasim/internal/report"
@@ -11,25 +12,34 @@ import (
 	"javasim/internal/workload"
 )
 
-// policyTag names a result's non-default contention policies so factor
-// rows and compare columns self-identify when one plan A/Bs disciplines:
-// "restricted", "fifo/round-robin", "barging/least-loaded". Runs under
-// the default fifo + affinity pair yield "" and every historical artifact
-// keeps its byte-identical form.
+// policyTag names a result's non-default policies so factor rows and
+// compare columns self-identify when one plan A/Bs disciplines:
+// "restricted", "fifo/round-robin", "barging/least-loaded",
+// "gc=concurrent", "restricted gc=compartment". Runs under the default
+// fifo + affinity + stw-serial triple yield "" and every historical
+// artifact keeps its byte-identical form.
 func policyTag(r *vm.Result) string {
 	lock, place := r.LockPolicy, r.Placement
 	defaultLock := lock == "" || lock == locks.PolicyFIFO
 	defaultPlace := place == "" || place == sched.PlacementAffinity
+	var tag string
 	switch {
 	case defaultLock && defaultPlace:
-		return ""
+		tag = ""
 	case defaultPlace:
-		return lock
+		tag = lock
 	case defaultLock:
-		return locks.PolicyFIFO + "/" + place
+		tag = locks.PolicyFIFO + "/" + place
 	default:
-		return lock + "/" + place
+		tag = lock + "/" + place
 	}
+	if g := r.GCPolicy; g != "" && g != gc.PolicyStwSerial {
+		if tag != "" {
+			tag += " "
+		}
+		tag += "gc=" + g
+	}
+	return tag
 }
 
 // tagLabel suffixes a row label with the sweep's policy tag, if any.
@@ -251,10 +261,53 @@ func renderFactors(labels []string, sweeps []*Sweep) *report.Table {
 	return t
 }
 
+// nonDefaultGC reports whether any result ran under a GC policy other
+// than the stw-serial default.
+func nonDefaultGC(results []*vm.Result) bool {
+	for _, r := range results {
+		if r.GCPolicy != "" && r.GCPolicy != gc.PolicyStwSerial {
+			return true
+		}
+	}
+	return false
+}
+
+// formatPhases renders a pause-phase breakdown as setup/scan/copy.
+func formatPhases(b gc.Breakdown) string {
+	return fmt.Sprintf("%v/%v/%v", b.Setup, b.Scan, b.Copy)
+}
+
+// compareRows fills a compare table's metric rows from one result per
+// column. The per-phase GC CPU and concurrent-GC rows appear only when a
+// column ran a non-default GC policy, so historical two-column artifacts
+// keep their byte-identical form.
+func compareRows(t *report.Table, results []*vm.Result) {
+	row := func(name string, cell func(*vm.Result) string) {
+		cells := []string{name}
+		for _, r := range results {
+			cells = append(cells, cell(r))
+		}
+		t.AddRow(cells...)
+	}
+	row("total time", func(r *vm.Result) string { return r.TotalTime.String() })
+	row("gc time", func(r *vm.Result) string { return r.GCTime.String() })
+	row("mean gc pause", func(r *vm.Result) string { return meanPause(r.GCPauses).String() })
+	row("max gc pause", func(r *vm.Result) string { return maxPause(r.GCPauses).String() })
+	row("collections", func(r *vm.Result) string { return fmt.Sprintf("%d", len(r.GCPauses)) })
+	if nonDefaultGC(results) {
+		row("gc phases s/s/c", func(r *vm.Result) string { return formatPhases(r.GCPhases) })
+		row("conc gc cpu", func(r *vm.Result) string { return r.ConcGCCPUTime.String() })
+	}
+	row("lifespan cdf@1KB", func(r *vm.Result) string { return report.FormatPct(r.Lifespans.FractionBelow(1024)) })
+	row("mean lifespan", func(r *vm.Result) string { return formatBytes(int64(r.Lifespans.Mean())) })
+	row("lock contentions", func(r *vm.Result) string { return report.FormatCount(r.LockContentions) })
+	row("utilization", func(r *vm.Result) string { return fmt.Sprintf("%.2f", r.Utilization) })
+}
+
 // renderCompare builds a baseline-vs-modified ablation table from two
-// results of the same workload. Columns carry the runs' contention-policy
-// tags when either side deviates from the fifo + affinity default, so a
-// policy A/B labels itself.
+// results of the same workload. Columns carry the runs' policy tags when
+// either side deviates from the fifo + affinity + stw-serial default, so
+// a policy A/B labels itself.
 func renderCompare(title, note string, base, mod *vm.Result) *report.Table {
 	baseHdr, modHdr := "baseline", "modified"
 	if tag := policyTag(base); tag != "" {
@@ -268,16 +321,24 @@ func renderCompare(title, note string, base, mod *vm.Result) *report.Table {
 		Headers: []string{"metric", baseHdr, modHdr},
 		Note:    note,
 	}
-	t.AddRow("total time", base.TotalTime.String(), mod.TotalTime.String())
-	t.AddRow("gc time", base.GCTime.String(), mod.GCTime.String())
-	t.AddRow("mean gc pause", meanPause(base.GCPauses).String(), meanPause(mod.GCPauses).String())
-	t.AddRow("max gc pause", maxPause(base.GCPauses).String(), maxPause(mod.GCPauses).String())
-	t.AddRow("collections", fmt.Sprintf("%d", len(base.GCPauses)), fmt.Sprintf("%d", len(mod.GCPauses)))
-	t.AddRow("lifespan cdf@1KB", report.FormatPct(base.Lifespans.FractionBelow(1024)),
-		report.FormatPct(mod.Lifespans.FractionBelow(1024)))
-	t.AddRow("mean lifespan", formatBytes(int64(base.Lifespans.Mean())), formatBytes(int64(mod.Lifespans.Mean())))
-	t.AddRow("lock contentions", report.FormatCount(base.LockContentions), report.FormatCount(mod.LockContentions))
-	t.AddRow("utilization", fmt.Sprintf("%.2f", base.Utilization), fmt.Sprintf("%.2f", mod.Utilization))
+	compareRows(t, []*vm.Result{base, mod})
+	return t
+}
+
+// renderCompareColumns builds a multi-column compare table: one column
+// per named scenario (the first is the baseline), each header suffixed
+// with the run's policy tag — the one-table shape of a whole policy
+// ablation.
+func renderCompareColumns(title, note string, names []string, results []*vm.Result) *report.Table {
+	headers := []string{"metric"}
+	for i, name := range names {
+		if tag := policyTag(results[i]); tag != "" {
+			name += " [" + tag + "]"
+		}
+		headers = append(headers, name)
+	}
+	t := &report.Table{Title: title, Headers: headers, Note: note}
+	compareRows(t, results)
 	return t
 }
 

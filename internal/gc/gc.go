@@ -14,6 +14,12 @@
 // down: longer object lifespans mean more nursery survivors, more copying
 // per minor collection, faster old-generation fill, and more full
 // collections (§III-B, Figure 2).
+//
+// The collection discipline itself is a pluggable Policy resolved from a
+// string-keyed registry (see policy.go): "stw-serial" is the behavior
+// described above, and "stw-parallel", "concurrent", and "compartment"
+// swap in alternative cost models, concurrent old-generation collection,
+// and NUMA-homed per-group heaps.
 package gc
 
 import (
@@ -215,9 +221,16 @@ func (s Stats) TotalTime() sim.Time { return s.MinorTime + s.FullTime + s.ConcPa
 
 // Collector tracks generation membership and executes collections.
 type Collector struct {
-	cfg  Config
-	heap *heap.Heap
-	reg  *objmodel.Registry
+	cfg    Config
+	policy Policy
+	heap   *heap.Heap
+	reg    *objmodel.Registry
+
+	// copyFactor scales each compartment's minor-collection evacuation
+	// cost; nil means 1.0 everywhere. The compartment policy sets it to
+	// the local-to-interleaved memory-latency ratio of each compartment's
+	// NUMA home, modeling region placement.
+	copyFactor []float64
 
 	// young holds the IDs of young-generation objects per compartment;
 	// old holds promoted objects. Dead entries are filtered at collection
@@ -234,21 +247,47 @@ type Collector struct {
 	onPromote func(objmodel.ID)
 }
 
-// New builds a collector over h and reg. The worker count must be set
-// (use DefaultWorkers) before any collection runs.
+// New builds a collector over h and reg under the default stw-serial
+// policy. The worker count must be set (use DefaultWorkers) before any
+// collection runs.
 func New(cfg Config, h *heap.Heap, reg *objmodel.Registry) *Collector {
+	return NewWithPolicy(StwSerial(), cfg, h, reg)
+}
+
+// NewWithPolicy builds a collector whose pause cost model and heap
+// discipline come from p (nil selects stw-serial).
+func NewWithPolicy(p Policy, cfg Config, h *heap.Heap, reg *objmodel.Registry) *Collector {
 	cfg = cfg.WithDefaults()
 	if cfg.Workers < 1 {
 		panic(fmt.Sprintf("gc: Workers = %d, need >= 1 (use DefaultWorkers)", cfg.Workers))
 	}
+	if p == nil {
+		p = StwSerial()
+	}
 	return &Collector{
 		cfg:       cfg,
+		policy:    p,
 		heap:      h,
 		reg:       reg,
 		young:     make([][]objmodel.ID, h.Compartments()),
 		survBytes: make([]int64, h.Compartments()),
 		pauseHist: metrics.NewHistogram("gc-pause-ns"),
 	}
+}
+
+// Policy returns the collector's collection discipline.
+func (c *Collector) Policy() Policy { return c.policy }
+
+// SetCopyFactors installs per-compartment evacuation cost multipliers
+// (len must equal the heap's compartment count). The VM computes them
+// from the machine's NUMA latencies when a policy homes compartment
+// regions on specific sockets; factors below 1 model local evacuation
+// beating the interleaved baseline the cost model is calibrated for.
+func (c *Collector) SetCopyFactors(factors []float64) {
+	if factors != nil && len(factors) != c.heap.Compartments() {
+		panic(fmt.Sprintf("gc: %d copy factors for %d compartments", len(factors), c.heap.Compartments()))
+	}
+	c.copyFactor = factors
 }
 
 // Config returns the defaulted configuration.
@@ -290,12 +329,11 @@ func (c *Collector) YoungCount(comp int) int { return len(c.young[comp]) }
 // OldCount returns the tracked old-generation population.
 func (c *Collector) OldCount() int { return len(c.old) }
 
-// parallelTime divides sequential work across the worker pool with a
-// synchronization-limited efficiency curve.
+// parallelTime maps one phase's sequential work onto elapsed pause time
+// through the policy's cost model (for stw-serial, the calibrated
+// synchronization-limited efficiency curve).
 func (c *Collector) parallelTime(sequential sim.Time) sim.Time {
-	w := float64(c.cfg.Workers)
-	eff := 1 / (1 + c.cfg.EfficiencyAlpha*(w-1))
-	return sim.Time(float64(sequential) / (w * eff))
+	return c.policy.PhaseTime(c.cfg, sequential)
 }
 
 // CollectMinor runs a minor collection of compartment comp at virtual time
@@ -360,6 +398,9 @@ func (c *Collector) CollectMinor(comp int, now sim.Time) (Pause, error) {
 	copied := survivorBytes + promotedBytes
 	scanCost := sim.Time(scanned) * c.cfg.ScanCostPerObject
 	copyCost := sim.Time(copied/1024) * c.cfg.CopyCostPerKB
+	if c.copyFactor != nil {
+		copyCost = sim.Time(float64(copyCost) * c.copyFactor[comp])
+	}
 	phases := Breakdown{
 		Setup: c.cfg.FixedMinorPause,
 		Scan:  c.parallelTime(scanCost),

@@ -1,0 +1,214 @@
+package vm
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"javasim/internal/gc"
+	"javasim/internal/workload"
+)
+
+func xalanSpecScaled(t *testing.T, scale float64) workload.Spec {
+	t.Helper()
+	spec, ok := workload.Lookup("xalan")
+	if !ok {
+		t.Fatal("xalan workload missing")
+	}
+	return spec.Scale(scale)
+}
+
+// TestGCPolicyDeterminism runs every GC policy twice — concurrently, so
+// the race detector watches the registry and any policy state — and
+// requires byte-identical Results for equal seeds, correctly labeled.
+func TestGCPolicyDeterminism(t *testing.T) {
+	spec := xalanSpecScaled(t, 0.03)
+	for _, policy := range gc.PolicyNames() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Threads: 8, Seed: 7, HeapFactor: 1.6, GCPolicy: policy}
+			results := make([]*Result, 2)
+			var wg sync.WaitGroup
+			for i := range results {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					res, err := Run(spec, cfg)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					results[i] = res
+				}(i)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			a, err := json.Marshal(results[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(results[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Errorf("same seed + gc policy %s produced different Results", policy)
+			}
+			if results[0].GCPolicy != policy {
+				t.Errorf("result labeled %q, want %q", results[0].GCPolicy, policy)
+			}
+		})
+	}
+}
+
+// TestGCPolicyDefaultIsByteIdentical pins the tentpole's compatibility
+// contract: an explicit stw-serial selection and the zero-value config
+// produce the same Result, byte for byte.
+func TestGCPolicyDefaultIsByteIdentical(t *testing.T) {
+	spec := xalanSpecScaled(t, 0.03)
+	implicit, err := Run(spec, Config{Threads: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Run(spec, Config{Threads: 8, Seed: 42, GCPolicy: gc.PolicyStwSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(implicit)
+	b, _ := json.Marshal(explicit)
+	if string(a) != string(b) {
+		t.Error("explicit stw-serial diverged from the default configuration")
+	}
+	if implicit.GCPolicy != gc.PolicyStwSerial {
+		t.Errorf("default run labeled %q, want stw-serial", implicit.GCPolicy)
+	}
+}
+
+// TestGCPolicyConfigErrors checks that bad GC-policy configurations fail
+// fast as configuration errors, not mid-simulation panics.
+func TestGCPolicyConfigErrors(t *testing.T) {
+	spec := xalanSpecScaled(t, 0.03)
+	if _, err := Run(spec, Config{Threads: 4, GCPolicy: "no-such-gc"}); err == nil {
+		t.Error("unknown gc policy accepted")
+	}
+	cfg := Config{Threads: 4, GCPolicy: gc.PolicyStwSerial}
+	cfg.GC.Concurrent = true
+	if _, err := Run(spec, cfg); err == nil {
+		t.Error("GC.Concurrent + stw-serial conflict accepted")
+	}
+}
+
+// TestLegacyConcurrentFlagMapsToPolicy checks backward compatibility:
+// the pre-registry GC.Concurrent flag resolves to — and is labeled as —
+// the concurrent policy.
+func TestLegacyConcurrentFlagMapsToPolicy(t *testing.T) {
+	spec := xalanSpecScaled(t, 0.03)
+	legacy := Config{Threads: 8, Seed: 42, HeapFactor: 1.6}
+	legacy.GC.Concurrent = true
+	legacy.GC.TriggerRatio = 0.5
+	a, err := Run(spec, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GCPolicy != gc.PolicyConcurrent {
+		t.Errorf("legacy concurrent run labeled %q", a.GCPolicy)
+	}
+	modern := Config{Threads: 8, Seed: 42, HeapFactor: 1.6, GCPolicy: gc.PolicyConcurrent}
+	modern.GC.TriggerRatio = 0.5
+	b, err := Run(spec, modern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Error("legacy GC.Concurrent flag and GCPolicy=concurrent diverged")
+	}
+}
+
+// TestCompartmentPolicyLaysOutNUMAHeap checks the compartment policy's
+// observable shape on the paper's machine: threads group per socket, the
+// heap gets one compartment per spanned socket, and pauses shorten while
+// the collection count rises (the §IV suggestion-2 signature), with the
+// NUMA copy discount visible in the per-phase breakdown.
+func TestCompartmentPolicyLaysOutNUMAHeap(t *testing.T) {
+	spec := xalanSpecScaled(t, 0.1)
+	base, err := Run(spec, Config{Threads: 24, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Run(spec, Config{Threads: 24, Seed: 42, GCPolicy: gc.PolicyCompartment})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.GCPauses) <= len(base.GCPauses) {
+		t.Errorf("compartment collections %d <= baseline %d — eden was not sliced",
+			len(comp.GCPauses), len(base.GCPauses))
+	}
+	maxPause := func(r *Result) (m int64) {
+		for _, p := range r.GCPauses {
+			if int64(p.Duration) > m {
+				m = int64(p.Duration)
+			}
+		}
+		return m
+	}
+	if maxPause(comp) >= maxPause(base) {
+		t.Errorf("compartment max pause %d >= baseline %d — no pause isolation", maxPause(comp), maxPause(base))
+	}
+	// 24 threads span 2 sockets: minor pauses must name compartments 0
+	// and 1, nothing else.
+	seen := map[int]bool{}
+	for _, p := range comp.GCPauses {
+		if p.Kind == gc.Minor {
+			seen[p.Compartment] = true
+		}
+	}
+	if !seen[0] || !seen[1] || len(seen) != 2 {
+		t.Errorf("minor collections hit compartments %v, want exactly {0, 1}", seen)
+	}
+}
+
+// TestResultRecordsGCPhases checks the per-phase GC CPU accounting: the
+// phase sums reconcile exactly with the recorded pauses.
+func TestResultRecordsGCPhases(t *testing.T) {
+	spec := xalanSpecScaled(t, 0.05)
+	res, err := Run(spec, Config{Threads: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want gc.Breakdown
+	for _, p := range res.GCPauses {
+		want.Setup += p.Phases.Setup
+		want.Scan += p.Phases.Scan
+		want.Copy += p.Phases.Copy
+	}
+	if res.GCPhases != want {
+		t.Errorf("GCPhases = %+v, want %+v", res.GCPhases, want)
+	}
+	if res.GCPhases.Total() == 0 {
+		t.Error("run collected nothing — phase accounting untested")
+	}
+}
+
+// TestHeapSizingOverrides checks NewRatio/SurvivorRatio reach the heap: a
+// larger NewRatio shrinks the young generation, forcing more minor
+// collections on the same workload.
+func TestHeapSizingOverrides(t *testing.T) {
+	spec := xalanSpecScaled(t, 0.05)
+	base, err := Run(spec, Config{Threads: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Run(spec, Config{Threads: 8, Seed: 42, NewRatio: 7, SurvivorRatio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.GCStats.MinorCount <= base.GCStats.MinorCount {
+		t.Errorf("NewRatio=7 minor collections %d <= default %d — override did not reach the heap",
+			tight.GCStats.MinorCount, base.GCStats.MinorCount)
+	}
+}

@@ -40,12 +40,28 @@ type Config struct {
 	// HeapFactor multiplies the workload's minimum heap requirement; the
 	// paper uses 3x. Zero defaults to 3.
 	HeapFactor float64
+	// NewRatio overrides the heap's old:young size ratio (HotSpot default
+	// 2: the young generation is one third of the heap). Zero keeps the
+	// default.
+	NewRatio int
+	// SurvivorRatio overrides the heap's eden:survivor ratio (HotSpot
+	// default 8). Zero keeps the default.
+	SurvivorRatio int
 	// Compartments splits eden into per-thread-group slices (future-work
-	// (b)); zero or one disables compartmentalization.
+	// (b)); zero or one means one shared eden — except that the
+	// "compartment" GC policy defaults an *unset* (zero) count to one
+	// slice per NUMA socket, while an explicit 1 still requests the
+	// single shared eden.
 	Compartments int
 	// GC configures the collector; GC.Workers zero selects the HotSpot
 	// heuristic for the enabled core count.
 	GC gc.Config
+	// GCPolicy selects the collection discipline by gc registry name
+	// ("stw-serial", "stw-parallel", "concurrent", "compartment", or a
+	// user registration); empty means stw-serial, the paper's baseline —
+	// unless the legacy GC.Concurrent flag is set, which resolves to
+	// "concurrent".
+	GCPolicy string
 	// Sched configures the scheduler, including phase-bias (future-work
 	// (a)) and the placement discipline (Sched.Placement registry name;
 	// empty means affinity). Steal defaults to on.
@@ -103,8 +119,12 @@ func (c Config) withDefaults() Config {
 	if c.HeapFactor == 0 {
 		c.HeapFactor = 3
 	}
-	if c.Compartments < 1 {
-		c.Compartments = 1
+	// Compartments stays 0 when unset: the GC policy's Layout may default
+	// it (compartment picks one slice per socket), while an explicit 1
+	// requests the single shared eden. RunContext clamps the laid-out
+	// count to >= 1.
+	if c.Compartments < 0 {
+		c.Compartments = 0
 	}
 	if c.GC.Workers == 0 {
 		c.GC.Workers = gc.DefaultWorkers(c.Cores)
@@ -124,6 +144,19 @@ func (c Config) withDefaults() Config {
 	if c.LockPolicy == "" {
 		c.LockPolicy = locks.PolicyFIFO
 	}
+	if c.GCPolicy == "" {
+		// The legacy GC.Concurrent flag predates the policy registry;
+		// canonicalize it onto the concurrent policy so both spellings
+		// share one cache entry and one Result label.
+		if c.GC.Concurrent {
+			c.GCPolicy = gc.PolicyConcurrent
+		} else {
+			c.GCPolicy = gc.PolicyStwSerial
+		}
+	}
+	if p, err := gc.NewPolicy(c.GCPolicy); err == nil && p.ConcurrentOld() {
+		c.GC.Concurrent = true
+	}
 	if c.Sched.Placement == "" {
 		c.Sched.Placement = sched.PlacementAffinity
 	}
@@ -138,10 +171,11 @@ type Result struct {
 	Threads  int
 	Cores    int
 
-	// LockPolicy and Placement are the resolved contention-policy names
+	// LockPolicy, Placement, and GCPolicy are the resolved policy names
 	// the run executed under, so reports can label ablation series.
 	LockPolicy string
 	Placement  string
+	GCPolicy   string
 
 	// TotalTime is the virtual wall-clock duration of the run; it splits
 	// exactly into MutatorTime and GCTime (stop-the-world, including
@@ -155,6 +189,12 @@ type Result struct {
 	GCStats   gc.Stats
 	GCPauses  []gc.Pause
 	HeapStats heap.Stats
+
+	// GCPhases splits stop-the-world pause time into its phases (fixed
+	// setup, live-object scanning, evacuation/compaction), summed across
+	// every pause — the per-phase GC CPU that distinguishes a
+	// coordination-bound collector (setup-heavy) from a copy-bound one.
+	GCPhases gc.Breakdown
 
 	// LockAcquisitions and LockContentions are the Figure 1a/1b counters,
 	// aggregated over every monitor in the VM.
@@ -273,6 +313,12 @@ type vm struct {
 	mutators []*mutator
 	helpers  []*sched.Thread
 
+	// compOf maps mutator index -> heap compartment; nil means the
+	// default round-robin i % Compartments. The compartment GC policy
+	// fills it so thread groups share the compartment homed on their
+	// cores' socket.
+	compOf []int
+
 	queueLock   *locks.Monitor
 	barrierLock *locks.Monitor
 	shared      []*locks.Monitor
@@ -339,7 +385,7 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	// Resolve the contention policies up front so an unknown name is a
+	// Resolve the pluggable policies up front so an unknown name is a
 	// configuration error, not a panic mid-simulation. The placement is
 	// only checked here — sched.New resolves its own instance.
 	policy, err := locks.NewPolicy(cfg.LockPolicy)
@@ -348,6 +394,14 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 	}
 	if err := sched.ValidatePlacement(cfg.Sched.Placement); err != nil {
 		return nil, fmt.Errorf("vm: %w", err)
+	}
+	gcPolicy, err := gc.NewPolicy(cfg.GCPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
+	if cfg.GC.Concurrent && !gcPolicy.ConcurrentOld() {
+		return nil, fmt.Errorf("vm: GC.Concurrent conflicts with GC policy %q — select the %q policy instead",
+			cfg.GCPolicy, gc.PolicyConcurrent)
 	}
 	run, err := workload.NewRun(spec, cfg.Threads, cfg.Seed)
 	if err != nil {
@@ -358,6 +412,31 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 	if err := mach.EnableCores(cfg.Cores); err != nil {
 		return nil, fmt.Errorf("vm: %w", err)
 	}
+
+	// Let the GC policy shape the heap: compartment count and NUMA region
+	// homes. Cores are enabled socket-major, so the spanned socket count
+	// is a ceiling division.
+	spanned := (cfg.Cores + cfg.Machine.CoresPerSocket - 1) / cfg.Machine.CoresPerSocket
+	if spanned > cfg.Machine.Sockets {
+		spanned = cfg.Machine.Sockets
+	}
+	if spanned < 1 {
+		spanned = 1
+	}
+	layout := gcPolicy.Layout(gc.LayoutRequest{
+		Compartments:   cfg.Compartments,
+		Cores:          cfg.Cores,
+		Sockets:        spanned,
+		CoresPerSocket: cfg.Machine.CoresPerSocket,
+	})
+	if layout.Compartments < 1 {
+		layout.Compartments = 1
+	}
+	if layout.HomeSockets != nil && len(layout.HomeSockets) != layout.Compartments {
+		return nil, fmt.Errorf("vm: gc policy %q laid out %d home sockets for %d compartments",
+			cfg.GCPolicy, len(layout.HomeSockets), layout.Compartments)
+	}
+	cfg.Compartments = layout.Compartments
 
 	s := sim.New()
 	scheduler := sched.New(s, mach, cfg.Sched)
@@ -377,14 +456,19 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 		tlab = 64 << 10
 	}
 	hp := heap.New(heap.Config{
-		MinHeap:      spec.MinHeapBytes(),
-		Factor:       cfg.HeapFactor,
-		TLABSize:     tlab,
-		Compartments: cfg.Compartments,
+		MinHeap:       spec.MinHeapBytes(),
+		Factor:        cfg.HeapFactor,
+		NewRatio:      cfg.NewRatio,
+		SurvivorRatio: cfg.SurvivorRatio,
+		TLABSize:      tlab,
+		Compartments:  cfg.Compartments,
 	})
 
 	reg := objmodel.NewRegistry(int(spec.TotalAllocBytes() / int64(max(spec.ObjSizeMeanB, 16))))
-	collector := gc.New(cfg.GC, hp, reg)
+	collector := gc.NewWithPolicy(gcPolicy, cfg.GC, hp, reg)
+	if layout.HomeSockets != nil {
+		collector.SetCopyFactors(numaCopyFactors(mach, spanned, layout))
+	}
 
 	var lockListener locks.Listener
 	if cfg.LockProfiler != nil {
@@ -397,6 +481,9 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 		sim: s, mach: mach, sched: scheduler,
 		heap: hp, reg: reg, gc: collector, locks: table, run: run,
 		lifespans: metrics.NewHistogram(spec.Name + "-lifespans"),
+	}
+	if layout.HomeSockets != nil {
+		v.compOf = numaCompartmentMap(mach, cfg.Threads, cfg.Cores, layout)
 	}
 	// Phase-bias gating yields to safepoint requests so stopped-world
 	// latency stays bounded by segment lengths, not phase lengths.
@@ -467,9 +554,13 @@ func (v *vm) setupMutators() {
 	v.mutators = make([]*mutator, v.cfg.Threads)
 	v.unitsAccum = make([]int64, v.cfg.Threads)
 	for i := range v.mutators {
+		comp := i % v.heap.Compartments()
+		if v.compOf != nil {
+			comp = v.compOf[i]
+		}
 		m := &mutator{
 			idx:         i,
-			compartment: i % v.heap.Compartments(),
+			compartment: comp,
 			state:       stRunning,
 		}
 		m.th = v.sched.NewThread(fmt.Sprintf("worker-%d", i), sched.DefaultWeight)
@@ -542,6 +633,7 @@ func (v *vm) result() *Result {
 		Cores:            v.cfg.Cores,
 		LockPolicy:       v.cfg.LockPolicy,
 		Placement:        v.cfg.Sched.Placement,
+		GCPolicy:         v.cfg.GCPolicy,
 		TotalTime:        v.endTime,
 		GCTime:           v.gcTime,
 		MutatorTime:      v.endTime - v.gcTime,
@@ -558,6 +650,11 @@ func (v *vm) result() *Result {
 		ConcCycles:       v.cms.cycles,
 		Iterations:       v.iterStats,
 		HeapLog:          v.heapLog,
+	}
+	for _, p := range res.GCPauses {
+		res.GCPhases.Setup += p.Phases.Setup
+		res.GCPhases.Scan += p.Phases.Scan
+		res.GCPhases.Copy += p.Phases.Copy
 	}
 	units := v.run.UnitsTaken()
 	for i := range units {

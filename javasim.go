@@ -51,23 +51,28 @@
 // experiment matrices live in files and run with cmd/javasim -plan. The
 // paper's own figure suite is the built-in PaperPlan.
 //
-// # Contention policies
+// # Pluggable policies
 //
 // The mechanisms the paper treats as fixed JVM behavior are swappable
 // policies resolved from string-keyed registries: Config.LockPolicy
 // selects the contended-monitor discipline ("fifo" — the paper's
-// baseline — "barging", "spin-then-park", or "restricted"), and
+// baseline — "barging", "spin-then-park", or "restricted"),
 // Config.Sched.Placement selects the scheduler's run-queue placement
-// ("affinity", "round-robin", or "least-loaded"). Plans select the same
-// names per scenario, so one plan A/Bs lock disciplines, and custom
-// policies join through RegisterLockPolicy / RegisterPlacement.
+// ("affinity", "round-robin", or "least-loaded"), and Config.GCPolicy
+// selects the collection discipline ("stw-serial" — the paper's
+// throughput collector — "stw-parallel", "concurrent", or
+// "compartment"). Plans select the same names per scenario, so one plan
+// A/Bs whole disciplines, and custom policies join through
+// RegisterLockPolicy / RegisterPlacement / RegisterGCPolicy.
 //
 // Runs are deterministic: the same Config.Seed reproduces a run
 // bit-for-bit, whether points execute sequentially or across the worker
 // pool. Identical runs requested twice (by figures, studies, or
 // concurrent callers) simulate once and share the memoized Result. See
-// README.md for the API guide and the migration table from the old
-// free-function API.
+// README.md for the quickstart, docs/architecture.md for the system
+// map, docs/paper.md for the paper-to-code mapping, and
+// docs/extending.md for custom registrations and the migration table
+// from the old free-function API.
 package javasim
 
 import (
@@ -75,6 +80,7 @@ import (
 	"io"
 
 	"javasim/internal/core"
+	"javasim/internal/gc"
 	"javasim/internal/lockprof"
 	"javasim/internal/locks"
 	"javasim/internal/metrics"
@@ -319,11 +325,12 @@ func LookupWorkload(name string) (Spec, bool) { return workload.Lookup(name) }
 // paper's order: the scalable trio, then the non-scalable trio.
 func PaperBenchmarks() []Spec { return workload.PaperSet() }
 
-// Contention-policy types. The contended-monitor discipline and the
-// scheduler's thread-placement discipline are pluggable: built-ins are
-// selected by registry name through Config.LockPolicy and
-// Config.Sched.Placement (or the matching plan fields), and custom
-// implementations join the registries below.
+// Policy types. The contended-monitor discipline, the scheduler's
+// thread-placement discipline, and the GC collection discipline are
+// pluggable: built-ins are selected by registry name through
+// Config.LockPolicy, Config.Sched.Placement, and Config.GCPolicy (or the
+// matching plan fields), and custom implementations join the registries
+// below.
 type (
 	// LockPolicy is the contended-monitor discipline of a run: what a
 	// thread does when it finds a monitor held, and who gets the monitor
@@ -331,6 +338,10 @@ type (
 	LockPolicy = locks.Policy
 	// Placement chooses the run queue for every waking thread.
 	Placement = sched.Placement
+	// GCPolicy is the collection discipline of a run: how stop-the-world
+	// work maps onto pause time, whether the old generation is collected
+	// concurrently, and how the heap is laid out over the machine.
+	GCPolicy = gc.Policy
 )
 
 // Registry names of the built-in lock policies.
@@ -358,6 +369,22 @@ const (
 	PlacementRoundRobin = sched.PlacementRoundRobin
 	// PlacementLeastLoaded always picks the shortest run queue.
 	PlacementLeastLoaded = sched.PlacementLeastLoaded
+)
+
+// Registry names of the built-in GC policies.
+const (
+	// GCPolicyStwSerial is the paper's stop-the-world throughput
+	// collector with the calibrated cost model — the default.
+	GCPolicyStwSerial = gc.PolicyStwSerial
+	// GCPolicyStwParallel splits collection work across the GC workers
+	// with an explicit per-worker fork/join synchronization tax.
+	GCPolicyStwParallel = gc.PolicyStwParallel
+	// GCPolicyConcurrent collects the old generation with a CMS-style
+	// background cycle, trading pause time for mutator-overlap CPU.
+	GCPolicyConcurrent = gc.PolicyConcurrent
+	// GCPolicyCompartment splits eden into per-thread-group compartments
+	// homed on NUMA sockets (paper §IV, suggestion 2).
+	GCPolicyCompartment = gc.PolicyCompartment
 )
 
 // RegisterLockPolicy adds a lock-policy factory to the registry, making
@@ -399,6 +426,30 @@ func SpinThenParkPolicy(budget Time) LockPolicy { return locks.SpinThenPark(budg
 // RestrictedPolicy builds a concurrency-restricting lock policy with a
 // custom circulating-set cap (the built-in "restricted" uses 4).
 func RestrictedPolicy(cap int) LockPolicy { return locks.Restricted(cap) }
+
+// RegisterGCPolicy adds a GC-policy factory to the registry, making it
+// selectable by name through Config.GCPolicy, plan files, and
+// cmd/javasim -gc-policy. The same uniqueness, freshness, and
+// in-module-authorship rules as RegisterLockPolicy apply.
+func RegisterGCPolicy(name string, factory func() GCPolicy) error {
+	return gc.RegisterPolicy(name, factory)
+}
+
+// GCPolicyNames returns every registered GC-policy name in registration
+// order: the four built-ins, then user registrations.
+func GCPolicyNames() []string { return gc.PolicyNames() }
+
+// ParallelGCPolicy builds a stw-parallel GC policy with a custom
+// efficiency-curve alpha and per-worker synchronization tax (the
+// built-in "stw-parallel" uses 0.02 and 3µs) — register tuned variants
+// under their own names, e.g. RegisterGCPolicy("stw-parallel-10us",
+// func() GCPolicy { return ParallelGCPolicy(0.02, 10*Microsecond) }).
+func ParallelGCPolicy(alpha float64, syncTax Time) GCPolicy { return gc.StwParallel(alpha, syncTax) }
+
+// CompartmentGCPolicy builds a compartment GC policy with a fixed
+// thread-group count (the built-in "compartment" defaults to one group
+// per NUMA socket the enabled cores span).
+func CompartmentGCPolicy(groups int) GCPolicy { return gc.Compartment(groups) }
 
 // Virtual-time units, for policy budgets and config durations.
 const (
