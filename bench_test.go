@@ -48,6 +48,7 @@ func sweepOrFatal(b *testing.B, s *javasim.Suite, name string) *javasim.Sweep {
 
 // BenchmarkFig1aLockAcquisitions regenerates Figure 1a (E1).
 func BenchmarkFig1aLockAcquisitions(b *testing.B) {
+	b.ReportAllocs()
 	var growth float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
@@ -61,6 +62,7 @@ func BenchmarkFig1aLockAcquisitions(b *testing.B) {
 
 // BenchmarkFig1bLockContentions regenerates Figure 1b (E2).
 func BenchmarkFig1bLockContentions(b *testing.B) {
+	b.ReportAllocs()
 	var growth float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
@@ -74,6 +76,7 @@ func BenchmarkFig1bLockContentions(b *testing.B) {
 
 // BenchmarkFig1cEclipseLifetimes regenerates Figure 1c (E3).
 func BenchmarkFig1cEclipseLifetimes(b *testing.B) {
+	b.ReportAllocs()
 	var shift float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
@@ -88,6 +91,7 @@ func BenchmarkFig1cEclipseLifetimes(b *testing.B) {
 
 // BenchmarkFig1dXalanLifetimes regenerates Figure 1d (E4).
 func BenchmarkFig1dXalanLifetimes(b *testing.B) {
+	b.ReportAllocs()
 	var shift float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
@@ -102,6 +106,7 @@ func BenchmarkFig1dXalanLifetimes(b *testing.B) {
 
 // BenchmarkFig2MutatorGC regenerates Figure 2 (E5).
 func BenchmarkFig2MutatorGC(b *testing.B) {
+	b.ReportAllocs()
 	var gcGrowth float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
@@ -115,6 +120,7 @@ func BenchmarkFig2MutatorGC(b *testing.B) {
 
 // BenchmarkTableClassification regenerates the §II-C table (E6).
 func BenchmarkTableClassification(b *testing.B) {
+	b.ReportAllocs()
 	var matches float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
@@ -134,6 +140,7 @@ func BenchmarkTableClassification(b *testing.B) {
 
 // BenchmarkTableWorkDistribution regenerates the §III observation (E7).
 func BenchmarkTableWorkDistribution(b *testing.B) {
+	b.ReportAllocs()
 	var top4 float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
@@ -148,6 +155,7 @@ func BenchmarkTableWorkDistribution(b *testing.B) {
 // BenchmarkAblationBiasedScheduling regenerates the §IV suggestion-1
 // ablation (E8).
 func BenchmarkAblationBiasedScheduling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := benchSuite().AblationBias(benchCtx); err != nil {
 			b.Fatal(err)
@@ -158,6 +166,7 @@ func BenchmarkAblationBiasedScheduling(b *testing.B) {
 // BenchmarkAblationCompartmentHeap regenerates the §IV suggestion-2
 // ablation (E9).
 func BenchmarkAblationCompartmentHeap(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := benchSuite().AblationCompartments(benchCtx); err != nil {
 			b.Fatal(err)
@@ -168,6 +177,7 @@ func BenchmarkAblationCompartmentHeap(b *testing.B) {
 // BenchmarkVMRun measures raw simulator throughput: one xalan run per
 // iteration at a fixed configuration, reporting simulated-vs-real speed.
 func BenchmarkVMRun(b *testing.B) {
+	b.ReportAllocs()
 	spec, _ := javasim.LookupWorkload("xalan")
 	spec = spec.Scale(0.1)
 	eng := javasim.NewEngine(javasim.WithCache(0)) // uncached: measure simulation, not lookups
@@ -185,6 +195,7 @@ func BenchmarkVMRun(b *testing.B) {
 
 // BenchmarkVMRunManycore exercises the full 48-core configuration.
 func BenchmarkVMRunManycore(b *testing.B) {
+	b.ReportAllocs()
 	spec, _ := javasim.LookupWorkload("sunflow")
 	spec = spec.Scale(0.1)
 	eng := javasim.NewEngine(javasim.WithCache(0))

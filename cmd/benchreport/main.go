@@ -1,0 +1,182 @@
+// Command benchreport runs the repository's benchmark smoke and writes a
+// machine-readable JSON report — benchmark name to ns/op, allocs/op,
+// bytes/op, and any custom b.ReportMetric figures — seeding the perf
+// trajectory that successive PRs compare against (BENCH_<n>.json at the
+// repo root).
+//
+// Usage:
+//
+//	go run ./cmd/benchreport -out BENCH_5.json -bench 'BenchmarkVMRun' -benchtime 3x .
+//	go run ./cmd/benchreport -baseline BENCH_4.json -out BENCH_5.json ./...
+//
+// The positional arguments are the packages to benchmark (default ./...).
+// With -baseline, the previous report's measurements are embedded under
+// "baseline" and per-benchmark deltas are printed, so a report is both a
+// snapshot and a comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's parsed result line.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Metrics holds custom b.ReportMetric figures (the headline statistic
+	// each figure benchmark reports, e.g. "xalan-gc-growth-x").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file format: a schema tag, the toolchain, the
+// measurements, and optionally the previous report's measurements for
+// trajectory comparisons.
+type Report struct {
+	Schema     string                 `json:"schema"`
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	BenchTime  string                 `json:"bench_time"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+	Baseline   map[string]Measurement `json:"baseline,omitempty"`
+}
+
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("out", "BENCH_5.json", "output report path")
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	baseline := flag.String("baseline", "", "previous report to embed as the comparison baseline")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	args := append([]string{"test", "-run", "^$", "-bench", *bench,
+		"-benchmem", "-benchtime", *benchtime}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Schema:     "javasim-bench-report/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		BenchTime:  *benchtime,
+		Benchmarks: map[string]Measurement{},
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		name, m, ok := parseLine(line)
+		if ok {
+			rep.Benchmarks[name] = m
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines in go test output")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		prev, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Baseline = prev.Benchmarks
+		printDeltas(rep)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkVMRun-8  3  16170192 ns/op  9837909 virtual-ns/run  970 B/op  119 allocs/op
+//
+// Fields after the iteration count come in (value, unit) pairs; unknown
+// units land in Metrics.
+func parseLine(line string) (string, Measurement, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", Measurement{}, false
+	}
+	name := cpuSuffix.ReplaceAllString(f[0], "")
+	m := Measurement{}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", Measurement{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			m.NsPerOp = v
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		default:
+			if m.Metrics == nil {
+				m.Metrics = map[string]float64{}
+			}
+			m.Metrics[unit] = v
+		}
+	}
+	return name, m, true
+}
+
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// printDeltas prints per-benchmark movement against the baseline for the
+// two regression-relevant axes: time and allocations.
+func printDeltas(rep Report) {
+	for name, cur := range rep.Benchmarks {
+		base, ok := rep.Baseline[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-40s ns/op %s   allocs/op %s\n",
+			name, delta(base.NsPerOp, cur.NsPerOp), delta(base.AllocsPerOp, cur.AllocsPerOp))
+	}
+}
+
+func delta(base, cur float64) string {
+	if base == 0 {
+		return fmt.Sprintf("%.0f (new)", cur)
+	}
+	return fmt.Sprintf("%.0f -> %.0f (%+.1f%%)", base, cur, 100*(cur-base)/base)
+}

@@ -303,8 +303,8 @@ func (h *Heap) CommitSweep(liveOldBytes, fragAdd int64) error {
 		return fmt.Errorf("heap: negative sweep commit (%d live, %d frag)", liveOldBytes, fragAdd)
 	}
 	h.fragBytes += fragAdd
-	if cap := h.oldSize * 3 / 10; h.fragBytes > cap {
-		h.fragBytes = cap
+	if limit := h.oldSize * 3 / 10; h.fragBytes > limit {
+		h.fragBytes = limit
 	}
 	used := liveOldBytes + h.fragBytes
 	if used > h.oldSize {

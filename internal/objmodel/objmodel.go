@@ -174,3 +174,20 @@ func (r *Registry) ForEach(fn func(ID, *Object)) {
 		fn(ID(i), &r.objects[i])
 	}
 }
+
+// ForEachLive calls fn for every object live at the time of the call, in
+// allocation order, without materializing an ID list. The registry tracks
+// the live count, so the scan stops as soon as the last live object has
+// been visited instead of walking the entire allocation history. fn may
+// kill the object it is handed (the VM's end-of-run retirement does);
+// such objects still count as live at call time. fn must not kill
+// not-yet-visited objects or allocate new ones.
+func (r *Registry) ForEachLive(fn func(ID, *Object)) {
+	left := r.liveCount
+	for i := 0; i < len(r.objects) && left > 0; i++ {
+		if o := &r.objects[i]; o.Live() {
+			left--
+			fn(ID(i), o)
+		}
+	}
+}

@@ -202,3 +202,51 @@ func TestLifespanNonNegativeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestForEachLive(t *testing.T) {
+	r := NewRegistry(8)
+	var ids []ID
+	for i := 0; i < 6; i++ {
+		ids = append(ids, r.Alloc(64, 0, 0))
+	}
+	r.Kill(ids[1], 0)
+	r.Kill(ids[4], 0)
+
+	var visited []ID
+	r.ForEachLive(func(id ID, o *Object) {
+		if !o.Live() {
+			t.Errorf("ForEachLive visited dead object %d", id)
+		}
+		visited = append(visited, id)
+	})
+	want := []ID{ids[0], ids[2], ids[3], ids[5]}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want %v (allocation order)", visited, want)
+		}
+	}
+}
+
+// ForEachLive's early exit must tolerate fn killing the object it was
+// handed — the end-of-run retirement pattern — and still visit every
+// object that was live at call time exactly once.
+func TestForEachLiveKillDuringIteration(t *testing.T) {
+	r := NewRegistry(8)
+	for i := 0; i < 5; i++ {
+		r.Alloc(32, 0, 0)
+	}
+	n := 0
+	r.ForEachLive(func(id ID, o *Object) {
+		n++
+		r.Kill(id, 7)
+	})
+	if n != 5 {
+		t.Errorf("visited %d objects, want 5", n)
+	}
+	if r.LiveCount() != 0 {
+		t.Errorf("LiveCount = %d after retiring all, want 0", r.LiveCount())
+	}
+}

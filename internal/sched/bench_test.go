@@ -33,6 +33,29 @@ func BenchmarkDispatchCycle(b *testing.B) {
 	s.Run()
 }
 
+// BenchmarkSchedContinuation measures the continuation fast path: a
+// single thread resubmitting from its own done callback with a pre-bound
+// continuation, the shape of the VM's op-to-op inner loop. With pooled
+// slice events and no closure churn this must report zero allocs/op.
+func BenchmarkSchedContinuation(b *testing.B) {
+	s := sim.New()
+	sc := New(s, multiCoreMachine(1), Config{})
+	th := sc.NewThread("w", 0)
+	remaining := b.N
+	var cont func()
+	cont = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		sc.Submit(th, 2*sim.Microsecond, cont)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	cont()
+	s.Run()
+}
+
 // BenchmarkNUMAPenaltyPath measures dispatch with the remote-placement
 // arithmetic active.
 func BenchmarkNUMAPenaltyPath(b *testing.B) {

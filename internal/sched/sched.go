@@ -82,6 +82,7 @@ type Thread struct {
 
 	state      State
 	core       int // core currently or last occupied; -1 before first run
+	coreIdx    int // scheduler index of that core; -1 before first run
 	homeSocket int // socket of first dispatch; NUMA home of its data
 
 	vruntime sim.Time
@@ -171,9 +172,16 @@ func (c Config) WithDefaults() Config {
 
 type coreState struct {
 	id      int
+	idx     int // index within Scheduler.cores
+	sched   *Scheduler
 	current *Thread
 	queue   []*Thread
 }
+
+// OnEvent fires the core's slice timer. coreState implements sim.Callback
+// so slice events carry a pre-bound receiver instead of a fresh closure —
+// with the kernel's event pool, arming a slice allocates nothing.
+func (c *coreState) OnEvent() { c.sched.tick(c.idx) }
 
 // Scheduler multiplexes threads onto the machine's enabled cores.
 type Scheduler struct {
@@ -218,7 +226,7 @@ func New(s *sim.Simulator, m *machine.Machine, cfg Config) *Scheduler {
 		idleTotal: make([]sim.Time, len(enabled)),
 	}
 	for i, c := range enabled {
-		sc.cores[i] = coreState{id: c}
+		sc.cores[i] = coreState{id: c, idx: i, sched: sc}
 		sc.idleStart[i] = 0
 	}
 	if cfg.Bias.Groups > 1 && cfg.Bias.PhaseLength <= 0 {
@@ -237,7 +245,7 @@ func (sc *Scheduler) NewThread(name string, weight int) *Thread {
 	}
 	t := &Thread{
 		ID: len(sc.threads), Name: name, Weight: weight,
-		Group: NoGroup, core: -1, homeSocket: -1,
+		Group: NoGroup, core: -1, coreIdx: -1, homeSocket: -1,
 		stateSince: sc.sim.Now(),
 	}
 	sc.threads = append(sc.threads, t)
@@ -512,6 +520,7 @@ func (sc *Scheduler) dispatch(idx int) {
 		t.migrations++
 	}
 	t.core = c.id
+	t.coreIdx = idx
 	if t.homeSocket < 0 {
 		t.homeSocket = sc.machine.SocketOf(c.id)
 	}
@@ -537,7 +546,7 @@ func (sc *Scheduler) dispatch(idx int) {
 	if slice > sc.cfg.Quantum {
 		slice = sc.cfg.Quantum
 	}
-	t.sliceEvent = sc.sim.Schedule(slice, func() { sc.tick(idx) })
+	t.sliceEvent = sc.sim.ScheduleCall(slice, c)
 }
 
 func (sc *Scheduler) effRemaining(t *Thread) sim.Time {
@@ -577,7 +586,7 @@ func (sc *Scheduler) tick(idx int) {
 	if slice > sc.cfg.Quantum {
 		slice = sc.cfg.Quantum
 	}
-	t.sliceEvent = sc.sim.Schedule(slice, func() { sc.tick(idx) })
+	t.sliceEvent = sc.sim.ScheduleCall(slice, c)
 }
 
 // completeSegment runs the done callback and either continues the thread
@@ -606,7 +615,7 @@ func (sc *Scheduler) completeSegment(t *Thread, idx int) {
 		if slice > sc.cfg.Quantum {
 			slice = sc.cfg.Quantum
 		}
-		t.sliceEvent = sc.sim.Schedule(slice, func() { sc.tick(idx) })
+		t.sliceEvent = sc.sim.ScheduleCall(slice, c)
 		return
 	}
 	c.current = nil
@@ -614,6 +623,53 @@ func (sc *Scheduler) completeSegment(t *Thread, idx int) {
 		sc.setState(t, Idle)
 	}
 	sc.dispatch(idx)
+}
+
+// ContinuationBudget reports how much base CPU time thread t could
+// consume, starting now, with zero externally observable interaction: no
+// other simulation event firing, no run-queue activity on its core, and no
+// placement-penalty arithmetic whose integer rounding depends on segment
+// boundaries. The VM's op-run fusion uses it as the proof obligation for
+// collapsing several interpreter ops into one summed segment — within the
+// returned budget, a fused segment and the equivalent op-by-op segments
+// are indistinguishable to every other component.
+//
+// The budget is nonzero only when t is on the continuation fast path
+// (inside its own done callback, before resubmitting), it runs at unity
+// placement penalty (base time == effective time, so slice rounding cannot
+// diverge), and its core's run queue is empty (nothing to preempt it at a
+// segment boundary). The window then extends to the kernel's next pending
+// event, capped at max: no event means no new work, no stop-the-world
+// request, and no wakeup can appear before the window closes, because
+// every state change in the simulation is carried by an event.
+//
+// Note the boundary: a foreign event pending exactly at now+budget is
+// safe. It was scheduled before the running callback, so it fires ahead of
+// the fused segment's completion tick in both the fused and unfused
+// executions — FIFO tie-breaking preserves creation order.
+func (sc *Scheduler) ContinuationBudget(t *Thread, max sim.Time) sim.Time {
+	if t.state != Running || t.sliceEvent != nil || t.done != nil || t.continued {
+		return 0
+	}
+	// Weight must be the default for the same reason penalty must be
+	// unity: vruntime accrues usedEff*DefaultWeight/Weight per segment
+	// with integer division, so a fused segment (one floor of the sum)
+	// and op-by-op segments (a sum of floors) would diverge otherwise.
+	if t.penalty1024 != 1024 || t.Weight != DefaultWeight || t.coreIdx < 0 {
+		return 0
+	}
+	c := &sc.cores[t.coreIdx]
+	if c.current != t || len(c.queue) != 0 {
+		return 0
+	}
+	next, ok := sc.sim.NextEventAt()
+	if !ok {
+		return max
+	}
+	if w := next - sc.sim.Now(); w < max {
+		return w
+	}
+	return max
 }
 
 // Kick re-runs dispatch on every idle core. Callers use it after a change

@@ -16,6 +16,33 @@ func BenchmarkEventThroughput(b *testing.B) {
 	for i := 0; i < 64; i++ {
 		s.Schedule(Time(i), tick)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+type benchCallback struct {
+	s     *Simulator
+	fired int
+}
+
+func (c *benchCallback) OnEvent() {
+	c.fired++
+	c.s.ScheduleCall(100, c)
+}
+
+// BenchmarkSimSchedule measures the allocation-free hot path: a pooled
+// event record carrying a pre-bound Callback, scheduled and fired through
+// a warm heap. Steady state must report zero allocs/op.
+func BenchmarkSimSchedule(b *testing.B) {
+	s := New()
+	cb := &benchCallback{s: s}
+	for i := 0; i < 64; i++ {
+		s.ScheduleCall(Time(i), cb)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
@@ -26,8 +53,11 @@ func BenchmarkEventThroughput(b *testing.B) {
 // slicing.
 func BenchmarkScheduleCancel(b *testing.B) {
 	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ev := s.Schedule(Time(i+1), func() {})
+		ev := s.Schedule(Time(i+1), fn)
 		s.Cancel(ev)
 	}
 }

@@ -2,9 +2,13 @@
 // that every other subsystem in this repository runs on.
 //
 // The kernel models virtual time as int64 nanoseconds. Components schedule
-// closures at future instants; the simulator executes them in timestamp
+// callbacks at future instants; the simulator executes them in timestamp
 // order, breaking ties by scheduling order (FIFO), which keeps runs
 // bit-for-bit reproducible for a fixed seed and configuration.
+//
+// Event records are pooled (see Event) and callbacks may be pre-bound
+// Callback receivers instead of closures (see ScheduleCall), so the
+// steady-state schedule/fire cycle performs zero heap allocations.
 package sim
 
 import "fmt"
@@ -38,14 +42,31 @@ func (t Time) String() string {
 // Seconds converts the time to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled closure. The zero value is not useful; events are
-// created through Simulator.Schedule or Simulator.At.
+// Event is a scheduled callback. The zero value is not useful; events are
+// created through Simulator.Schedule, At, or their Call variants.
+//
+// Event records are pooled: once an event fires or is canceled, its record
+// returns to the simulator's free list and the next Schedule/At reuses it.
+// An *Event reference is therefore live only until the event fires or is
+// canceled — afterwards the pointer may describe a different, unrelated
+// event. Holders must drop (or nil) their reference at that point and must
+// never Cancel through a stale one.
 type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	cb       Callback
 	index    int // position in the heap, -1 once removed
 	canceled bool
+}
+
+// Callback is the closure-free form of an event callback: a pre-bound
+// receiver whose OnEvent method fires. Components that schedule on the hot
+// path implement it once (receiver + method, no per-event closure) and
+// pass themselves to ScheduleCall/AtCall, which — combined with the event
+// pool — makes scheduling allocation-free.
+type Callback interface {
+	OnEvent()
 }
 
 // At reports the virtual time at which the event fires.
@@ -62,6 +83,10 @@ type Simulator struct {
 	stopped bool
 	// executed counts events that have fired, for diagnostics and tests.
 	executed uint64
+	// free is the event record pool: fired and canceled events land here
+	// and the next Schedule/At reuses them, so a steady-state simulation
+	// allocates no event records at all.
+	free []*Event
 }
 
 // New returns an empty simulator positioned at time zero.
@@ -91,26 +116,76 @@ func (s *Simulator) Schedule(delay Time, fn func()) *Event {
 
 // At registers fn to run at absolute time t, which must not be in the past.
 func (s *Simulator) At(t Time, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
-	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	s.seq++
-	ev := &Event{at: t, seq: s.seq, fn: fn}
+	ev := s.newEvent(t)
+	ev.fn = fn
 	s.queue.Push(ev)
 	return ev
 }
 
-// Cancel prevents a pending event from firing. Canceling an event that has
-// already fired or been canceled is a no-op.
+// ScheduleCall is Schedule with a pre-bound Callback instead of a closure:
+// cb.OnEvent fires delay nanoseconds from now. With a pooled event record
+// and no closure to capture, the call performs zero allocations.
+func (s *Simulator) ScheduleCall(delay Time, cb Callback) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return s.AtCall(s.now+delay, cb)
+}
+
+// AtCall is At with a pre-bound Callback instead of a closure.
+func (s *Simulator) AtCall(t Time, cb Callback) *Event {
+	if cb == nil {
+		panic("sim: nil event callback")
+	}
+	ev := s.newEvent(t)
+	ev.cb = cb
+	s.queue.Push(ev)
+	return ev
+}
+
+// newEvent takes a record from the pool (or allocates the first time) and
+// stamps it with the firing time and the next sequence number.
+func (s *Simulator) newEvent(t Time) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	s.seq++
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.canceled = false
+	} else {
+		ev = &Event{}
+	}
+	ev.at, ev.seq = t, s.seq
+	return ev
+}
+
+// recycle clears a record's callbacks and returns it to the pool. The
+// canceled flag is deliberately left as-is so Canceled() stays truthful
+// until the record is reused (newEvent resets it).
+func (s *Simulator) recycle(ev *Event) {
+	ev.fn, ev.cb = nil, nil
+	s.free = append(s.free, ev)
+}
+
+// Cancel prevents a pending event from firing and recycles its record.
+// Canceling an event that already fired within the current callback — or
+// was already canceled and not yet reused — is a no-op, but once a record
+// is reused by a later Schedule/At the stale pointer names the new event,
+// so callers must drop references at fire/cancel time (see Event).
 func (s *Simulator) Cancel(ev *Event) {
 	if ev == nil || ev.canceled || ev.index < 0 {
 		return
 	}
 	ev.canceled = true
 	s.queue.Remove(ev)
+	s.recycle(ev)
 }
 
 // Step fires the earliest pending event and returns true, or returns false
@@ -125,8 +200,26 @@ func (s *Simulator) Step() bool {
 	}
 	s.now = ev.at
 	s.executed++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.cb.OnEvent()
+	}
+	// Recycle after the callback so a Cancel of the just-fired event from
+	// inside its own callback still sees index == -1 and no-ops.
+	s.recycle(ev)
 	return true
+}
+
+// NextEventAt returns the timestamp of the earliest pending event. ok is
+// false when the queue is empty. Components use it to bound work they may
+// perform without any other simulation activity intervening (the VM's
+// op-run fusion window).
+func (s *Simulator) NextEventAt() (Time, bool) {
+	if s.queue.Len() == 0 {
+		return 0, false
+	}
+	return s.queue.Peek().at, true
 }
 
 // Run fires events until the queue drains or Stop is called. It returns the

@@ -88,18 +88,27 @@ func TestCancel(t *testing.T) {
 	fired := false
 	ev := s.Schedule(10, func() { fired = true })
 	s.Cancel(ev)
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	// Double-cancel before the record is reused must be a no-op.
+	s.Cancel(ev)
 	s.Run()
 	if fired {
 		t.Error("canceled event fired")
 	}
-	if !ev.Canceled() {
-		t.Error("Canceled() = false after Cancel")
-	}
-	// Double-cancel and cancel-after-fire must be no-ops.
-	s.Cancel(ev)
-	ev2 := s.Schedule(10, func() {})
+	// Cancel from inside the event's own callback must be a no-op: the
+	// record is not recycled until the callback returns.
+	var ev2 *Event
+	fired2 := 0
+	ev2 = s.Schedule(10, func() {
+		fired2++
+		s.Cancel(ev2)
+	})
 	s.Run()
-	s.Cancel(ev2)
+	if fired2 != 1 {
+		t.Errorf("self-canceling event fired %d times, want 1", fired2)
+	}
 }
 
 func TestCancelMiddleOfQueue(t *testing.T) {

@@ -1,0 +1,138 @@
+package vm
+
+import (
+	"javasim/internal/sim"
+	"javasim/internal/workload"
+)
+
+// Op-run fusion.
+//
+// The interpreter's inner loop costs one scheduler segment — submit,
+// slice event, tick, continuation — per workload op. Most ops are plain
+// compute bursts or TLAB allocations that cannot block, so whole runs of
+// them can collapse into a single summed segment with batched TLAB and
+// registry accounting, cutting the kernel's event traffic.
+//
+// Fusion is only legal when it is provably invisible: the fused execution
+// must be bit-identical — same Result, same golden artifacts — to the
+// op-by-op one. The proof rests on the kernel's event discipline: every
+// state change in the simulation is carried by an event, so if no foreign
+// event fires inside the fused window, nothing can observe (or perturb)
+// the difference between one summed segment and its op-by-op equivalent.
+// sched.ContinuationBudget supplies that window: the time until the
+// kernel's next pending event, and only while the thread holds its core
+// uncontended at unity placement penalty. On top of the window, each
+// fused op must itself be unable to block:
+//
+//   - OpCompute always qualifies.
+//   - OpAlloc qualifies when the object fits the current TLAB without a
+//     refill (refills can fail and trigger GC) and is small enough for
+//     the TLAB path at all. Pretenuring disables alloc fusion entirely:
+//     the learner's site decisions can shift with every object death,
+//     including deaths our own run performs.
+//   - Lock and phase-boundary ops never fuse.
+//
+// Op side effects (registry records, death-ring retirement) land at the
+// segment's start rather than spread across it. With no foreign event in
+// the window, no other thread advances the global allocation clock in
+// between, so every Birth/Death clock value — and therefore every
+// lifespan — is unchanged; only the virtual-time stamps inside the window
+// shift, which is why fusion turns itself off when a TraceSink wants
+// exact per-op times. Safepoint fidelity is likewise exact, not
+// approximate: a stop-the-world request can only arise from an event, and
+// no event precedes the fused segment's completion, so the thread reaches
+// its poll at the same virtual instant either way.
+//
+// maxFuseOps bounds the scan, keeping the fusion attempt O(1)-ish per
+// segment and the summed segment within the granularity of the paper's
+// op-level CPU model.
+const maxFuseOps = 32
+
+// maxFuseWindow caps the budget request; it only binds when the event
+// queue is nearly empty (end-of-run drainage), where an unbounded window
+// would let the op cap alone decide.
+const maxFuseWindow = 10 * sim.Millisecond
+
+// fuseObserver, when non-nil, receives the length of every fused run. It
+// is a test hook: the differential tests use it to prove fusion actually
+// engaged in the configurations they compare.
+var fuseObserver func(ops int)
+
+// fuseRun tries to collapse the run of ops starting at m.opIdx into one
+// segment. On success it applies every fused op's bookkeeping, advances
+// opIdx past the run, and returns the summed duration with ok true. A
+// run of fewer than two ops reports ok false and changes nothing — the
+// caller falls back to the op-by-op path.
+func (v *vm) fuseRun(m *mutator) (sim.Time, bool) {
+	ops := m.unit.Ops
+	i := m.opIdx
+	if i+1 >= len(ops) {
+		return 0, false
+	}
+	budget := v.sched.ContinuationBudget(m.th, maxFuseWindow)
+	if budget <= 0 {
+		return 0, false
+	}
+
+	// Scan forward while each op provably cannot block and the run stays
+	// inside the no-foreign-event window. Two timing constraints: the
+	// summed segment must complete by the window's edge (sum <= budget),
+	// and every op after the first must have its op-by-op side-effect
+	// time strictly inside the window (prefix < budget) — an op whose
+	// unfused effects would land exactly on a foreign event's timestamp
+	// would be reordered against that event by fusion.
+	allocOK := !v.pret.enabled
+	tlabLeft := m.tlab.Remaining()
+	var sum sim.Time
+	n := 0
+	for j := i; j < len(ops) && n < maxFuseOps; j++ {
+		if n > 0 && sum >= budget {
+			break
+		}
+		op := &ops[j]
+		switch op.Kind {
+		case workload.OpCompute:
+			// Always fusable: pure CPU burn.
+		case workload.OpAlloc:
+			size := int64(op.Size)
+			if !allocOK || size*4 > v.tlabSize || size > tlabLeft {
+				goto scanned
+			}
+			tlabLeft -= size
+		default:
+			goto scanned
+		}
+		if sum+op.Dur > budget {
+			if op.Kind == workload.OpAlloc {
+				tlabLeft += int64(op.Size) // op not taken; undo the probe
+			}
+			break
+		}
+		sum += op.Dur
+		n++
+	}
+scanned:
+	if n < 2 {
+		return 0, false
+	}
+
+	// Commit: reserve the whole run's TLAB bytes in one bump, then apply
+	// each op's bookkeeping in op order (clock advances, death rings, GC
+	// young-list appends all happen in the exact op-by-op sequence).
+	if reserved := m.tlab.Remaining() - tlabLeft; reserved > 0 {
+		if !m.tlab.Alloc(reserved) {
+			panic("vm: fused TLAB reservation exceeds buffer") // excluded by the scan
+		}
+		m.gcRetries = 0
+	}
+	for j := i; j < i+n; j++ {
+		if op := &ops[j]; op.Kind == workload.OpAlloc {
+			v.commitAlloc(m, op, false)
+		}
+	}
+	m.opIdx = i + n
+	if fuseObserver != nil {
+		fuseObserver(n)
+	}
+	return sum, true
+}

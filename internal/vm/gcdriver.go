@@ -41,7 +41,16 @@ func (v *vm) allocate(m *mutator, op *workload.Op) bool {
 		}
 	}
 	m.gcRetries = 0
+	v.commitAlloc(m, op, pretenure)
+	return true
+}
 
+// commitAlloc performs the bookkeeping of a successful allocation whose
+// space is already reserved: the registry record, generation tracking,
+// the trace event, and the death schedule (including any deaths due at
+// this allocation count). It is shared by allocate and the fused-op path,
+// which reserves a whole run of TLAB allocations up front.
+func (v *vm) commitAlloc(m *mutator, op *workload.Op, pretenure bool) {
 	now := v.sim.Now()
 	id := v.reg.Alloc(op.Size, int32(m.idx), now)
 	if v.pret.enabled {
@@ -76,7 +85,6 @@ func (v *vm) allocate(m *mutator, op *workload.Op) bool {
 		v.kill(dead)
 	}
 	m.allocRing[due] = m.allocRing[due][:0]
-	return true
 }
 
 // requestGC initiates (or joins) a stop-the-world collection request and
@@ -104,7 +112,7 @@ func (v *vm) requestGC(m *mutator) {
 	} else if v.stwRequester == nil && v.stwComp == m.compartment {
 		v.stwRequester = m
 	}
-	v.parkForGC(m, func() { v.step(m) })
+	v.parkForGC(m, m.stepFn)
 }
 
 // requestFullGC is the pretenuring allocation-failure path: the old
@@ -125,7 +133,7 @@ func (v *vm) requestFullGC(m *mutator) {
 	}
 	v.stwGlobal = true
 	v.stwWantFull = true
-	v.parkForGC(m, func() { v.step(m) })
+	v.parkForGC(m, m.stepFn)
 }
 
 func (v *vm) gcQueued(comp int) bool {

@@ -49,15 +49,7 @@ func (v *vm) startNextIteration() {
 
 	// Release the iteration's application state. Death-ring entries all
 	// refer to objects dead after this, so the rings reset with them.
-	var live []objmodel.ID
-	v.reg.ForEach(func(id objmodel.ID, o *objmodel.Object) {
-		if o.Live() {
-			live = append(live, id)
-		}
-	})
-	for _, id := range live {
-		v.kill(id)
-	}
+	v.reg.ForEachLive(func(id objmodel.ID, _ *objmodel.Object) { v.kill(id) })
 	for _, m := range v.mutators {
 		for i := range m.allocRing {
 			m.allocRing[i] = m.allocRing[i][:0]
@@ -84,10 +76,9 @@ func (v *vm) startNextIteration() {
 	v.barArrived = 0
 
 	for _, m := range v.mutators {
-		m := m
 		v.setMutatorState(m, stRunning)
 		v.aliveCount++
 		v.sched.Unblock(m.th)
-		v.sched.Submit(m.th, 0, func() { v.fetchWork(m) })
+		v.sched.Submit(m.th, 0, m.fetchFn)
 	}
 }

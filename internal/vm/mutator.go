@@ -34,7 +34,7 @@ const barrierPolls = 3
 // starts interpreting the next unit.
 func (v *vm) fetchWork(m *mutator) {
 	if v.stwPending && v.affectedBySTW(m) {
-		v.parkForGC(m, func() { v.fetchWork(m) })
+		v.parkForGC(m, m.fetchFn)
 		return
 	}
 	if v.atPhaseBoundary() {
@@ -78,18 +78,26 @@ func (v *vm) takeUnit(m *mutator) {
 // step interprets the current unit from m.opIdx.
 func (v *vm) step(m *mutator) {
 	if v.stwPending && v.affectedBySTW(m) {
-		v.parkForGC(m, func() { v.step(m) })
+		v.parkForGC(m, m.stepFn)
 		return
 	}
 	if m.opIdx >= len(m.unit.Ops) {
 		v.completeUnit(m)
 		return
 	}
+	// Fast path: collapse a run of non-blocking ops into one segment when
+	// no other simulation event can intervene (see fuse.go).
+	if v.fuseOK {
+		if d, ok := v.fuseRun(m); ok {
+			v.sched.Submit(m.th, d, m.stepFn)
+			return
+		}
+	}
 	op := &m.unit.Ops[m.opIdx]
 	switch op.Kind {
 	case workload.OpCompute:
 		m.opIdx++
-		v.sched.Submit(m.th, op.Dur, func() { v.step(m) })
+		v.sched.Submit(m.th, op.Dur, m.stepFn)
 
 	case workload.OpAlloc:
 		if !v.allocate(m, op) {
@@ -98,12 +106,12 @@ func (v *vm) step(m *mutator) {
 			return
 		}
 		m.opIdx++
-		v.sched.Submit(m.th, op.Dur, func() { v.step(m) })
+		v.sched.Submit(m.th, op.Dur, m.stepFn)
 
 	case workload.OpAcquire:
 		mon := v.shared[op.Lock]
 		m.opIdx++
-		v.acquireOwned(m, mon, func() { v.step(m) })
+		v.acquireOwned(m, mon, m.stepFn)
 
 	case workload.OpRelease:
 		mon := v.shared[op.Lock]
@@ -164,15 +172,7 @@ func (v *vm) finishRun() {
 	v.finished = true
 	v.endTime = v.sim.Now()
 	v.sim.Cancel(v.guardEv)
-	var remaining []objmodel.ID
-	v.reg.ForEach(func(id objmodel.ID, o *objmodel.Object) {
-		if o.Live() {
-			remaining = append(remaining, id)
-		}
-	})
-	for _, id := range remaining {
-		v.kill(id)
-	}
+	v.reg.ForEachLive(func(id objmodel.ID, _ *objmodel.Object) { v.kill(id) })
 }
 
 // setMutatorState transitions m and maintains the running/safepoint census.
@@ -320,10 +320,9 @@ func (v *vm) releaseBarrier(opener *mutator) {
 		if w.state != stBarrier {
 			continue
 		}
-		w := w
 		v.setMutatorState(w, stRunning)
 		v.sched.Unblock(w.th)
-		v.sched.Submit(w.th, 0, func() { v.fetchWork(w) })
+		v.sched.Submit(w.th, 0, w.fetchFn)
 	}
 	if opener != nil {
 		v.fetchWork(opener)

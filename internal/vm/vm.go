@@ -90,6 +90,14 @@ type Config struct {
 	// MaxVirtualTime aborts runs that exceed this much simulated time;
 	// zero defaults to 300 virtual seconds.
 	MaxVirtualTime sim.Time
+	// DisableFusion turns off op-run fusion: the interpreter's batching of
+	// consecutive compute/alloc ops into one summed scheduler segment when
+	// no other simulation event can intervene (see fuse.go). Fusion applies
+	// only when provably invisible, so results are bit-identical either
+	// way; the switch exists for differential testing and diagnosis, not
+	// tuning. Fusion also disables itself when a TraceSink is attached,
+	// keeping per-op trace timestamps exact.
+	DisableFusion bool
 	// HelperPeriod and HelperBurst shape the JVM background threads (JIT
 	// compiler, profiler): every period each helper computes for burst.
 	HelperPeriod sim.Time
@@ -275,6 +283,12 @@ type mutator struct {
 	unit  workload.Unit
 	opIdx int
 
+	// stepFn and fetchFn are the pre-bound continuations (set once at
+	// construction) the hot path hands to the scheduler and the safepoint
+	// machinery, so advancing a unit never captures a fresh closure.
+	stepFn  func()
+	fetchFn func()
+
 	// resume continues the mutator after a lock handoff grants it the
 	// monitor it blocked on, or after a stop-the-world resume.
 	resume func()
@@ -362,6 +376,11 @@ type vm struct {
 	endTime   sim.Time
 	runErr    error
 	guardEv   *sim.Event
+
+	// Fusion state (see fuse.go). fuseOK caches the per-run eligibility
+	// gate; tlabSize caches the heap's TLAB size for the fusion scan.
+	fuseOK   bool
+	tlabSize int64
 }
 
 // Run executes one benchmark under the given configuration and returns the
@@ -481,6 +500,8 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 		sim: s, mach: mach, sched: scheduler,
 		heap: hp, reg: reg, gc: collector, locks: table, run: run,
 		lifespans: metrics.NewHistogram(spec.Name + "-lifespans"),
+		fuseOK:    !cfg.DisableFusion && cfg.TraceSink == nil,
+		tlabSize:  hp.Config().TLABSize,
 	}
 	if layout.HomeSockets != nil {
 		v.compOf = numaCompartmentMap(mach, cfg.Threads, cfg.Cores, layout)
@@ -563,6 +584,8 @@ func (v *vm) setupMutators() {
 			compartment: comp,
 			state:       stRunning,
 		}
+		m.stepFn = func() { v.step(m) }
+		m.fetchFn = func() { v.fetchWork(m) }
 		m.th = v.sched.NewThread(fmt.Sprintf("worker-%d", i), sched.DefaultWeight)
 		m.th.MemoryIntensity = v.spec.MemoryIntensity
 		if v.cfg.Sched.Bias.Groups > 1 {
@@ -573,9 +596,8 @@ func (v *vm) setupMutators() {
 		v.aliveCount++
 	}
 	for _, m := range v.mutators {
-		m := m
 		v.emitTrace(trace.Event{Kind: trace.ThreadStart, Time: 0, Thread: int32(m.idx)})
-		v.sched.Submit(m.th, 0, func() { v.fetchWork(m) })
+		v.sched.Submit(m.th, 0, m.fetchFn)
 	}
 }
 
