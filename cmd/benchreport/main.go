@@ -12,7 +12,11 @@
 // The positional arguments are the packages to benchmark (default ./...).
 // With -baseline, the previous report's measurements are embedded under
 // "baseline" and per-benchmark deltas are printed, so a report is both a
-// snapshot and a comparison.
+// snapshot and a comparison. -max-ns-regress and -max-allocs-regress turn
+// the comparison into a gate: the command exits non-zero when any
+// benchmark regresses past the percentage ceiling, which is how CI holds
+// the perf trajectory (allocations are deterministic, so their ceiling
+// can sit tight; wall time on shared runners needs a generous one).
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -57,6 +62,10 @@ func main() {
 	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	baseline := flag.String("baseline", "", "previous report to embed as the comparison baseline")
+	maxNs := flag.Float64("max-ns-regress", -1,
+		"with -baseline: fail when a benchmark's ns/op regresses more than this percentage (negative disables)")
+	maxAllocs := flag.Float64("max-allocs-regress", -1,
+		"with -baseline: fail when a benchmark's allocs/op regresses more than this percentage (negative disables)")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -112,6 +121,40 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+
+	if violations := gate(rep, *maxNs, *maxAllocs); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchreport: REGRESSION %s\n", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// gate returns one violation line per benchmark whose time or allocation
+// movement against the baseline exceeds its percentage ceiling. Negative
+// ceilings disable that axis; benchmarks absent from the baseline pass
+// (they are new, with nothing to regress from).
+func gate(rep Report, maxNs, maxAllocs float64) []string {
+	var bad []string
+	for name, cur := range rep.Benchmarks {
+		base, ok := rep.Baseline[name]
+		if !ok {
+			continue
+		}
+		check := func(axis string, b, c, ceiling float64) {
+			if ceiling < 0 || b == 0 {
+				return
+			}
+			if pct := 100 * (c - b) / b; pct > ceiling {
+				bad = append(bad, fmt.Sprintf("%s %s %.0f -> %.0f (%+.1f%%, ceiling %.0f%%)",
+					name, axis, b, c, pct, ceiling))
+			}
+		}
+		check("ns/op", base.NsPerOp, cur.NsPerOp, maxNs)
+		check("allocs/op", base.AllocsPerOp, cur.AllocsPerOp, maxAllocs)
+	}
+	sort.Strings(bad)
+	return bad
 }
 
 // parseLine parses one `go test -bench` result line:

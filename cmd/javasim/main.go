@@ -10,6 +10,8 @@
 //	        [-scale 1.0] [-compartments 4] [-bias-groups 2]
 //	        [-lock-policy restricted] [-placement round-robin]
 //	        [-gc-policy concurrent] [-trace out.trace] [-lockprof] [-v]
+//	javasim -workload server -arrival poisson -rate 200000 -threads 16
+//	        [-requests 4000] [-timeout 5ms]
 //	javasim -plan plan.json [-parallel 8] [-progress]
 //	javasim -list
 package main
@@ -46,6 +48,10 @@ func main() {
 		compartments = flag.Int("compartments", 0, "heap compartments (future-work b); 0 = off")
 		biasGroups   = flag.Int("bias-groups", 0, "phase-bias scheduling groups (future-work a); 0 = off")
 		biasPhase    = flag.Duration("bias-phase", 0, "phase length for biased scheduling (default 2ms)")
+		arrival      = flag.String("arrival", "", "open-system arrival process: "+strings.Join(javasim.ArrivalProcessNames(), ", ")+" (default closed loop)")
+		rate         = flag.Float64("rate", 0, "with -arrival: offered request rate per second")
+		requests     = flag.Int("requests", 0, "with -arrival: offered requests per run (0 = workload unit budget)")
+		reqTimeout   = flag.Duration("timeout", 0, "with -arrival: abandon requests queued longer than this (0 = never)")
 		lockPolicy   = flag.String("lock-policy", "", "contended-monitor discipline: "+strings.Join(javasim.LockPolicyNames(), ", ")+" (default fifo)")
 		placement    = flag.String("placement", "", "run-queue placement: "+strings.Join(javasim.PlacementNames(), ", ")+" (default affinity)")
 		gcPolicy     = flag.String("gc-policy", "", "collection discipline: "+strings.Join(javasim.GCPolicyNames(), ", ")+" (default stw-serial)")
@@ -104,6 +110,16 @@ func main() {
 		GCPolicy:     *gcPolicy,
 	}
 	cfg.Sched.Placement = *placement
+	if *arrival != "" && *arrival != javasim.ArrivalClosed {
+		cfg.Traffic = javasim.TrafficConfig{
+			Process:    *arrival,
+			RatePerSec: *rate,
+			Requests:   *requests,
+			Timeout:    sim.Time(reqTimeout.Nanoseconds()),
+		}
+	} else if *rate != 0 || *requests != 0 || *reqTimeout != 0 {
+		fatalf("-rate/-requests/-timeout need -arrival naming an open process")
+	}
 	if *biasGroups > 1 {
 		cfg.Sched.Bias.Groups = *biasGroups
 		cfg.Sched.Bias.PhaseLength = sim.Time(biasPhase.Nanoseconds())
@@ -153,6 +169,18 @@ func main() {
 	fmt.Printf("lifespans     %.1f%% < 1KB, mean %.0f B\n",
 		100*res.Lifespans.FractionBelow(1024), res.Lifespans.Mean())
 	fmt.Printf("utilization   %.2f\n", res.Utilization)
+	if st := res.Traffic; st != nil {
+		fmt.Printf("traffic       %s at %.0f req/s offered\n", st.Process, st.RatePerSec)
+		fmt.Printf("requests      %d offered, %d completed, %d timed out\n",
+			st.Offered, st.Completed, st.TimedOut)
+		fmt.Printf("goodput       %.0f req/s\n", st.GoodputPerSec(res.TotalTime))
+		fmt.Printf("latency       p50 %v, p99 %v, p99.9 %v\n",
+			sim.Time(st.Latency.Percentile(50)),
+			sim.Time(st.Latency.Percentile(99)),
+			sim.Time(st.Latency.Percentile(99.9)))
+		fmt.Printf("queue         max depth %d, mean %.1f, wait p99 %v\n",
+			st.QueueDepthMax, st.QueueDepthMean, sim.Time(st.QueueWait.Percentile(99)))
+	}
 	if len(res.Iterations) > 1 {
 		fmt.Println("iterations    (duration / gc / collections)")
 		for _, it := range res.Iterations {

@@ -193,3 +193,33 @@ func ExampleWithObserver() {
 	fmt.Println("simulations:", started)
 	// Output: simulations: 2
 }
+
+// ExampleRegisterArrivalProcess registers a deterministic fixed-gap
+// arrival process and drives an open-system run with it.
+// (docs/extending.md, "Custom arrival processes".)
+func ExampleRegisterArrivalProcess() {
+	tolerateDup(javasim.RegisterArrivalProcess("docs-fixed", func(cfg javasim.TrafficConfig) (javasim.ArrivalProcess, error) {
+		if cfg.RatePerSec <= 0 {
+			return nil, fmt.Errorf("docs-fixed needs a positive rate")
+		}
+		return fixedGap{gap: javasim.Time(1e9 / cfg.RatePerSec)}, nil
+	}))
+	eng := javasim.NewEngine()
+	spec, _ := javasim.LookupWorkload("server")
+	res, err := eng.Run(context.Background(), spec.Scale(0.1), javasim.Config{
+		Threads: 8, Seed: 42,
+		Traffic: javasim.TrafficConfig{Process: "docs-fixed", RatePerSec: 100000, Requests: 500},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d of %d requests completed\n",
+		res.Traffic.Process, res.Traffic.Completed, res.Traffic.Offered)
+	// Output: docs-fixed: 500 of 500 requests completed
+}
+
+// fixedGap emits one request every gap of virtual time — the simplest
+// possible ArrivalProcess, used by ExampleRegisterArrivalProcess.
+type fixedGap struct{ gap javasim.Time }
+
+func (p fixedGap) Next(now javasim.Time, rng *javasim.Rand) javasim.Time { return p.gap }

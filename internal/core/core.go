@@ -31,12 +31,23 @@ import (
 // 4 up to the full 48-core machine.
 var DefaultThreadCounts = []int{4, 8, 16, 24, 32, 48}
 
-// SweepConfig drives one workload across thread counts.
+// DefaultOpenThreads is the server-pool size of an open-system rate sweep
+// when neither the traffic spec nor the base config picks one.
+const DefaultOpenThreads = 16
+
+// SweepConfig drives one workload across thread counts, or — when Rates
+// is set — across offered request rates at a fixed server-pool size.
 type SweepConfig struct {
-	// ThreadCounts to sweep; nil means DefaultThreadCounts.
+	// ThreadCounts to sweep; nil means DefaultThreadCounts. Ignored when
+	// Rates is set.
 	ThreadCounts []int
-	// Base is the VM configuration template; Threads/Cores are overridden
-	// per point.
+	// Rates switches the sweep to the open-system axis: each point runs
+	// Base.Traffic's arrival process at one offered rate (requests/second)
+	// with Base.Threads servers (DefaultOpenThreads when zero). Base.Traffic
+	// must name an open arrival process.
+	Rates []float64
+	// Base is the VM configuration template; Threads/Cores (thread sweeps)
+	// or Traffic.RatePerSec (rate sweeps) are overridden per point.
 	Base vm.Config
 }
 
@@ -50,14 +61,23 @@ func (c SweepConfig) threadCounts() []int {
 // Point is one sweep measurement.
 type Point struct {
 	Threads int
-	Result  *vm.Result
+	// Rate is the offered request rate of an open-system point
+	// (requests/second); 0 on closed-loop thread-sweep points.
+	Rate   float64
+	Result *vm.Result
 }
 
-// Sweep is a workload's measurements across thread counts, ascending.
+// Sweep is a workload's measurements across thread counts (closed-loop)
+// or offered rates (open-system), ascending.
 type Sweep struct {
 	Spec   workload.Spec
 	Points []Point
 }
+
+// Open reports whether the sweep varied offered rate rather than thread
+// count. Open sweeps feed goodput reports; the scalability analyses
+// (Curve, Classify, ComputeFactors) assume thread sweeps.
+func (s *Sweep) Open() bool { return len(s.Points) > 0 && s.Points[0].Rate > 0 }
 
 // RunSweep executes spec at every configured thread count on the shared
 // default engine. Points run concurrently through the engine's bounded

@@ -223,9 +223,10 @@ func (e *Engine) simulate(ctx context.Context, spec workload.Spec, cfg vm.Config
 	return res, err
 }
 
-// Sweep measures spec across the configured thread counts through the
-// engine's worker pool: points run concurrently, but never on more
-// goroutines than the engine's parallelism bound, and each point is
+// Sweep measures spec across the configured thread counts — or, when
+// cfg.Rates is set, across offered request rates at a fixed server pool —
+// through the engine's worker pool: points run concurrently, but never on
+// more goroutines than the engine's parallelism bound, and each point is
 // memoized individually. A base config carrying a TraceSink or
 // LockProfiler forces the sweep sequential so the sinks observe one
 // coherent event stream per point.
@@ -233,27 +234,44 @@ func (e *Engine) simulate(ctx context.Context, spec workload.Spec, cfg vm.Config
 // Sweep returns ctx.Err() as soon as the context dies; already-completed
 // points stay memoized for a later retry.
 func (e *Engine) Sweep(ctx context.Context, spec workload.Spec, cfg SweepConfig) (*Sweep, error) {
+	open := len(cfg.Rates) > 0
+	if open && !cfg.Base.Traffic.Open() {
+		return nil, fmt.Errorf("core: sweep %s: Rates set but Base.Traffic names no open arrival process", spec.Name)
+	}
 	counts := cfg.threadCounts()
-	results := make([]*vm.Result, len(counts))
-	errs := make([]error, len(counts))
+	openThreads := cfg.Base.Threads
+	if openThreads <= 0 {
+		openThreads = DefaultOpenThreads
+	}
+	n := len(counts)
+	if open {
+		n = len(cfg.Rates)
+	}
+	results := make([]*vm.Result, n)
+	errs := make([]error, n)
 	runPoint := func(i int) {
 		vcfg := cfg.Base
-		vcfg.Threads = counts[i]
+		if open {
+			vcfg.Threads = openThreads
+			vcfg.Traffic.RatePerSec = cfg.Rates[i]
+		} else {
+			vcfg.Threads = counts[i]
+		}
 		vcfg.Cores = 0 // paper methodology: cores = threads
 		results[i], errs[i] = e.Run(ctx, spec, vcfg)
 		if errs[i] == nil {
-			e.emit(Event{Kind: SweepPointDone, Workload: spec.Name, Threads: counts[i], Seed: vcfg.Seed})
+			e.emit(Event{Kind: SweepPointDone, Workload: spec.Name, Threads: vcfg.Threads, Seed: vcfg.Seed})
 		}
 	}
 	if cfg.Base.TraceSink != nil || cfg.Base.LockProfiler != nil {
-		for i := range counts {
+		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
 				break
 			}
 			runPoint(i)
 		}
 	} else {
-		workers := min(e.parallelism, len(counts))
+		workers := min(e.parallelism, n)
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		wg.Add(workers)
@@ -265,7 +283,7 @@ func (e *Engine) Sweep(ctx context.Context, spec workload.Spec, cfg SweepConfig)
 				}
 			}()
 		}
-		for i := range counts {
+		for i := 0; i < n; i++ {
 			idx <- i
 		}
 		close(idx)
@@ -276,12 +294,21 @@ func (e *Engine) Sweep(ctx context.Context, spec workload.Spec, cfg SweepConfig)
 	}
 	for i, err := range errs {
 		if err != nil {
+			if open {
+				return nil, fmt.Errorf("core: sweep %s at %v req/s: %w", spec.Name, cfg.Rates[i], err)
+			}
 			return nil, fmt.Errorf("core: sweep %s at %d threads: %w", spec.Name, counts[i], err)
 		}
 	}
 	s := &Sweep{Spec: spec}
-	for i, n := range counts {
-		s.Points = append(s.Points, Point{Threads: n, Result: results[i]})
+	if open {
+		for i, r := range cfg.Rates {
+			s.Points = append(s.Points, Point{Threads: openThreads, Rate: r, Result: results[i]})
+		}
+	} else {
+		for i, c := range counts {
+			s.Points = append(s.Points, Point{Threads: c, Result: results[i]})
+		}
 	}
 	e.emit(Event{Kind: SweepDone, Workload: spec.Name, Seed: cfg.Base.Seed})
 	return s, nil

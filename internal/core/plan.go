@@ -13,6 +13,7 @@ import (
 	"javasim/internal/report"
 	"javasim/internal/sched"
 	"javasim/internal/sim"
+	"javasim/internal/traffic"
 	"javasim/internal/vm"
 	"javasim/internal/workload"
 )
@@ -42,11 +43,15 @@ const (
 	// OutputReplication summarizes metric spread across the scenario's
 	// repeats; it requires Repeats >= 2.
 	OutputReplication Output = "replication"
+	// OutputGoodput renders the open-system headline table — offered vs
+	// completed throughput and the latency tail at every swept rate. It
+	// requires (and is the only output allowed on) a Traffic scenario.
+	OutputGoodput Output = "goodput"
 )
 
 var validOutputs = map[Output]bool{
 	OutputSweep: true, OutputClassification: true, OutputFactors: true,
-	OutputLifespanCDF: true, OutputReplication: true,
+	OutputLifespanCDF: true, OutputReplication: true, OutputGoodput: true,
 }
 
 // ConfigOverrides is the serializable subset of vm.Config a scenario may
@@ -185,6 +190,78 @@ func (o *ConfigOverrides) validate() error {
 	return nil
 }
 
+// TrafficSpec switches a scenario to the open-system model: instead of a
+// fixed thread pool looping over the workload (the closed system, where
+// offered load falls as the system slows), requests arrive from a seeded
+// generator process at a swept offered rate and queue for a fixed server
+// pool — the model under which queueing delay compounds into tail latency
+// and goodput diverges from offered load past saturation.
+type TrafficSpec struct {
+	// Process names the arrival process by traffic registry name
+	// ("poisson", "bursty", "diurnal", or a registered custom). Required.
+	Process string
+	// Rates are the offered request rates (requests/second) to sweep,
+	// strictly ascending. Required, non-empty.
+	Rates []float64
+	// Threads is the server-pool size at every rate point; 0 means
+	// DefaultOpenThreads.
+	Threads int `json:",omitempty"`
+	// Requests bounds offered requests per run; 0 derives a budget from
+	// the workload's unit count.
+	Requests int `json:",omitempty"`
+	// Timeout abandons requests that queue longer than this (virtual
+	// nanoseconds); 0 never abandons.
+	Timeout sim.Time `json:",omitempty"`
+	// BurstFactor, BurstOnFraction, and BurstPeriod tune the bursty
+	// process; zero picks the traffic package defaults.
+	BurstFactor     float64  `json:",omitempty"`
+	BurstOnFraction float64  `json:",omitempty"`
+	BurstPeriod     sim.Time `json:",omitempty"`
+	// DiurnalPeriod and DiurnalAmplitude tune the diurnal process; zero
+	// picks the traffic package defaults.
+	DiurnalPeriod    sim.Time `json:",omitempty"`
+	DiurnalAmplitude float64  `json:",omitempty"`
+}
+
+// config builds the per-point traffic configuration at one offered rate.
+func (ts *TrafficSpec) config(rate float64) traffic.Config {
+	return traffic.Config{
+		Process: ts.Process, RatePerSec: rate,
+		Requests: ts.Requests, Timeout: ts.Timeout,
+		BurstFactor: ts.BurstFactor, BurstOnFraction: ts.BurstOnFraction,
+		BurstPeriod:   ts.BurstPeriod,
+		DiurnalPeriod: ts.DiurnalPeriod, DiurnalAmplitude: ts.DiurnalAmplitude,
+	}
+}
+
+func (ts *TrafficSpec) threads() int {
+	if ts.Threads <= 0 {
+		return DefaultOpenThreads
+	}
+	return ts.Threads
+}
+
+func (ts *TrafficSpec) validate() error {
+	if ts.Process == "" || ts.Process == traffic.ProcessClosed {
+		return fmt.Errorf("Traffic.Process must name an open arrival process (have %q)", ts.Process)
+	}
+	if len(ts.Rates) == 0 {
+		return fmt.Errorf("Traffic.Rates is empty")
+	}
+	for i, r := range ts.Rates {
+		if r <= 0 {
+			return fmt.Errorf("Traffic rate %v", r)
+		}
+		if i > 0 && r <= ts.Rates[i-1] {
+			return fmt.Errorf("Traffic rates must be strictly ascending (%v after %v)", r, ts.Rates[i-1])
+		}
+	}
+	if ts.Threads < 0 {
+		return fmt.Errorf("Traffic.Threads = %d", ts.Threads)
+	}
+	return ts.config(ts.Rates[0]).Validate()
+}
+
 // Scenario declaratively describes one experiment: sweep a workload
 // across thread counts under a (possibly overridden) JVM configuration,
 // optionally repeated under derived seeds. Zero-valued fields inherit the
@@ -197,8 +274,13 @@ type Scenario struct {
 	// inline spec.
 	Workload workload.Ref
 	// ThreadCounts to sweep, ascending; nil inherits the plan's (and
-	// ultimately the paper's {4,8,16,24,32,48}).
+	// ultimately the paper's {4,8,16,24,32,48}). Mutually exclusive with
+	// Traffic, which sweeps offered rates at a fixed pool size instead.
 	ThreadCounts []int `json:",omitempty"`
+	// Traffic switches the scenario to the open-system model: the sweep
+	// axis becomes Traffic.Rates and every point runs Traffic.Threads
+	// servers fed by the named arrival process.
+	Traffic *TrafficSpec `json:",omitempty"`
 	// Scale shrinks the workload (0 < Scale <= 1); 0 inherits the plan's.
 	Scale float64 `json:",omitempty"`
 	// Seed drives the scenario's randomness; 0 inherits the plan's.
@@ -233,12 +315,31 @@ func (sc *Scenario) validate(p *Plan) error {
 	if err := sc.Overrides.validate(); err != nil {
 		return fmt.Errorf("core: scenario %q: overrides: %w", sc.Name, err)
 	}
+	if sc.Traffic != nil {
+		if len(sc.ThreadCounts) > 0 {
+			return fmt.Errorf("core: scenario %q: Traffic scenarios sweep rates, not ThreadCounts", sc.Name)
+		}
+		if err := sc.Traffic.validate(); err != nil {
+			return fmt.Errorf("core: scenario %q: %w", sc.Name, err)
+		}
+		if sc.Overrides != nil && sc.Overrides.Iterations > 1 {
+			return fmt.Errorf("core: scenario %q: open-system runs take a single iteration", sc.Name)
+		}
+	}
 	for _, out := range sc.Outputs {
 		if !validOutputs[out] {
 			return fmt.Errorf("core: scenario %q: unknown output %q", sc.Name, out)
 		}
 		if out == OutputReplication && sc.repeats() < 2 {
 			return fmt.Errorf("core: scenario %q: replication output needs Repeats >= 2", sc.Name)
+		}
+		// The scalability outputs read thread sweeps and the goodput
+		// output reads rate sweeps; neither renders the other's axis.
+		if sc.Traffic != nil && out != OutputGoodput && out != OutputReplication {
+			return fmt.Errorf("core: scenario %q: output %q reads thread sweeps — Traffic scenarios render %q", sc.Name, out, OutputGoodput)
+		}
+		if sc.Traffic == nil && out == OutputGoodput {
+			return fmt.Errorf("core: scenario %q: output %q needs a Traffic block", sc.Name, OutputGoodput)
 		}
 	}
 	return nil
@@ -327,6 +428,11 @@ const (
 	// ReportCompare contrasts two scenarios' results at their largest
 	// thread counts — the ablation shape.
 	ReportCompare ReportKind = "compare"
+	// ReportGoodput renders offered vs completed throughput and the
+	// latency tail of open-system scenarios across their swept rates —
+	// the goodput-under-overload shape. It may only reference Traffic
+	// scenarios, and they must share one rate grid.
+	ReportGoodput ReportKind = "goodput"
 )
 
 // Metric selects the number a series report extracts from each sweep
@@ -410,7 +516,7 @@ func (rs *ReportSpec) validate(scenarios map[string]bool) error {
 	}
 	switch rs.Kind {
 	case ReportSeries, ReportLifespanCDF, ReportMutatorGC, ReportClassification,
-		ReportWorkDistribution, ReportFactors, ReportCompare:
+		ReportWorkDistribution, ReportFactors, ReportCompare, ReportGoodput:
 	default:
 		return fmt.Errorf("core: report %q: unknown kind %q", rs.Name, rs.Kind)
 	}
@@ -441,7 +547,7 @@ func (rs *ReportSpec) validate(scenarios map[string]bool) error {
 		if len(rs.Scenarios) != 1 {
 			return fmt.Errorf("core: report %q: lifespan-cdf takes exactly one scenario", rs.Name)
 		}
-	case ReportMutatorGC, ReportClassification, ReportWorkDistribution, ReportFactors:
+	case ReportMutatorGC, ReportClassification, ReportWorkDistribution, ReportFactors, ReportGoodput:
 	case ReportCompare:
 		switch {
 		case rs.Baseline == "" && rs.Modified == "":
@@ -530,6 +636,9 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("core: duplicate report name %q", rs.Name)
 		}
 		reports[rs.Name] = true
+		if err := p.checkTrafficRefs(rs); err != nil {
+			return err
+		}
 		switch rs.Kind {
 		case ReportSeries:
 			if err := p.checkSeriesCounts(rs); err != nil {
@@ -543,6 +652,64 @@ func (p *Plan) Validate() error {
 			if err := p.checkCompareThreads(rs); err != nil {
 				return err
 			}
+		case ReportGoodput:
+			if err := p.checkGoodputRates(rs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkTrafficRefs enforces the axis split between report kinds: goodput
+// reports read rate sweeps, every other kind reads thread sweeps, and a
+// report referencing the wrong scenario flavor would render nonsense.
+func (p *Plan) checkTrafficRefs(rs *ReportSpec) error {
+	byName := make(map[string]*Scenario, len(p.Scenarios))
+	for i := range p.Scenarios {
+		byName[p.Scenarios[i].Name] = &p.Scenarios[i]
+	}
+	names := p.reportScenarios(rs)
+	if rs.Kind == ReportCompare && (rs.Baseline != "" || rs.Modified != "") {
+		names = rs.compareScenarios()
+	}
+	for _, name := range names {
+		sc := byName[name]
+		if sc == nil {
+			continue // unknown references were rejected above
+		}
+		if rs.Kind == ReportGoodput && sc.Traffic == nil {
+			return fmt.Errorf("core: report %q: goodput reports read rate sweeps, but scenario %q has no Traffic block", rs.Name, name)
+		}
+		if rs.Kind != ReportGoodput && sc.Traffic != nil {
+			return fmt.Errorf("core: report %q: kind %q reads thread sweeps, but scenario %q sweeps offered rates", rs.Name, rs.Kind, name)
+		}
+	}
+	return nil
+}
+
+// checkGoodputRates rejects goodput reports whose scenarios sweep
+// different rate grids: their rows would compare unlike offered loads.
+func (p *Plan) checkGoodputRates(rs *ReportSpec) error {
+	byName := make(map[string]*Scenario, len(p.Scenarios))
+	for i := range p.Scenarios {
+		byName[p.Scenarios[i].Name] = &p.Scenarios[i]
+	}
+	picked := p.reportScenarios(rs)
+	var first []float64
+	for i, name := range picked {
+		rates := byName[name].Traffic.Rates
+		if i == 0 {
+			first = rates
+			continue
+		}
+		same := len(rates) == len(first)
+		for j := 0; same && j < len(rates); j++ {
+			same = rates[j] == first[j]
+		}
+		if !same {
+			return fmt.Errorf("core: report %q: scenario %q sweeps rates %v but %q sweeps %v — goodput rows must share the rate grid",
+				rs.Name, picked[0], first, name, rates)
 		}
 	}
 	return nil
@@ -778,17 +945,24 @@ func (e *Engine) runScenario(ctx context.Context, p *Plan, sc *Scenario) (*Scena
 	if scale := sc.scale(p); scale != 1 {
 		spec = spec.Scale(scale)
 	}
-	counts := sc.threadCounts(p)
 	seed := sc.seed(p)
 	base := vm.Config{Seed: seed, LockPolicy: p.LockPolicy, GCPolicy: p.GCPolicy}
 	base.Sched.Placement = p.Placement
 	sc.Overrides.apply(&base)
+	swCfg := SweepConfig{ThreadCounts: sc.threadCounts(p)}
+	if sc.Traffic != nil {
+		// The rate becomes the sweep axis; Sweep fills it in per point.
+		base.Threads = sc.Traffic.threads()
+		base.Traffic = sc.Traffic.config(0)
+		swCfg = SweepConfig{Rates: sc.Traffic.Rates}
+	}
 
 	res := &ScenarioResult{Name: sc.Name, Workload: spec.Name}
 	for i := 0; i < sc.repeats(); i++ {
 		cfg := base
 		cfg.Seed = deriveSeed(seed, i)
-		sw, err := e.Sweep(ctx, spec, SweepConfig{ThreadCounts: counts, Base: cfg})
+		swCfg.Base = cfg
+		sw, err := e.Sweep(ctx, spec, swCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -821,6 +995,8 @@ func renderOutput(sc *Scenario, out Output, sweeps []*Sweep) (*report.Table, err
 		return renderLifespanCDF(sw, lo, hi)
 	case OutputReplication:
 		return renderReplication(sc.Name, sweeps), nil
+	case OutputGoodput:
+		return renderGoodput("", "", []string{sc.Name}, []*Sweep{sw})
 	default:
 		return nil, fmt.Errorf("core: unknown output %q", out)
 	}
@@ -880,6 +1056,12 @@ func renderReport(p *Plan, rs *ReportSpec, byName map[string]*ScenarioResult) (*
 		t = renderWorkDistribution(picked, sweeps)
 	case ReportFactors:
 		t = renderFactors(picked, sweeps)
+	case ReportGoodput:
+		var err error
+		t, err = renderGoodput(rs.Title, rs.Note, picked, sweeps)
+		if err != nil {
+			return nil, err
+		}
 	case ReportCompare:
 		names := rs.compareScenarios()
 		title := rs.Title

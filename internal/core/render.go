@@ -8,6 +8,7 @@ import (
 	"javasim/internal/metrics"
 	"javasim/internal/report"
 	"javasim/internal/sched"
+	"javasim/internal/sim"
 	"javasim/internal/vm"
 	"javasim/internal/workload"
 )
@@ -340,6 +341,41 @@ func renderCompareColumns(title, note string, names []string, results []*vm.Resu
 	t := &report.Table{Title: title, Headers: headers, Note: note}
 	compareRows(t, results)
 	return t
+}
+
+// renderGoodput builds the open-system headline table: one row per
+// (scenario, offered rate) with offered vs completed throughput, the
+// abandonment count, the per-request latency tail, and the peak queue
+// depth. The figure's point is the knee: goodput tracks offered load up
+// to saturation, then flattens or collapses while the tail explodes.
+func renderGoodput(title, note string, labels []string, sweeps []*Sweep) (*report.Table, error) {
+	if title == "" {
+		title = "Goodput and latency vs offered rate"
+	}
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"scenario", "rate/s", "offered/s", "goodput/s", "timed-out", "p50", "p99", "p99.9", "max-queue"},
+		Note:    note,
+	}
+	for i, sw := range sweeps {
+		label := tagLabel(labels[i], sw)
+		for _, p := range sw.Points {
+			st := p.Result.Traffic
+			if st == nil {
+				return nil, fmt.Errorf("core: goodput table %q: %s at %v req/s carries no traffic stats",
+					title, labels[i], p.Rate)
+			}
+			pct := func(q float64) string { return sim.Time(st.Latency.Percentile(q)).String() }
+			t.AddRow(label,
+				fmt.Sprintf("%.0f", p.Rate),
+				fmt.Sprintf("%.0f", st.OfferedPerSec(p.Result.TotalTime)),
+				fmt.Sprintf("%.0f", st.GoodputPerSec(p.Result.TotalTime)),
+				fmt.Sprintf("%d", st.TimedOut),
+				pct(50), pct(99), pct(99.9),
+				fmt.Sprintf("%d", st.QueueDepthMax))
+		}
+	}
+	return t, nil
 }
 
 // renderSweepTable builds the per-scenario sweep summary: the headline

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"javasim/internal/workload"
+)
+
+// trafficTestPlan is a small open-system ablation: the server workload
+// under fifo vs restricted locking, swept across an underloaded and an
+// overloaded offered rate.
+func trafficTestPlan() *Plan {
+	spec := func() *TrafficSpec {
+		return &TrafficSpec{
+			Process:  "poisson",
+			Rates:    []float64{100000, 1500000},
+			Threads:  8,
+			Requests: 500,
+		}
+	}
+	return &Plan{
+		Name:  "traffic-test",
+		Seed:  7,
+		Scale: 0.2,
+		Scenarios: []Scenario{
+			{Name: "fifo", Workload: workload.NameRef("server"), Traffic: spec(),
+				Outputs: []Output{OutputGoodput}},
+			{Name: "restricted", Workload: workload.NameRef("server"), Traffic: spec(),
+				Overrides: &ConfigOverrides{LockPolicy: "restricted"}},
+			{Name: "closed", Workload: workload.NameRef("server"), ThreadCounts: []int{2, 4}},
+		},
+		Reports: []ReportSpec{
+			{Name: "goodput", Kind: ReportGoodput, Scenarios: []string{"fifo", "restricted"}},
+		},
+	}
+}
+
+func TestTrafficPlanRuns(t *testing.T) {
+	p := trafficTestPlan()
+	pr, err := NewEngine(WithParallelism(2)).RunPlan(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fifo", "restricted"} {
+		sw := pr.Scenario(name).Sweep()
+		if !sw.Open() {
+			t.Fatalf("%s: traffic scenario produced a closed sweep", name)
+		}
+		for i, pt := range sw.Points {
+			if pt.Rate != p.Scenarios[0].Traffic.Rates[i] {
+				t.Errorf("%s point %d: rate %v, want %v", name, i, pt.Rate, p.Scenarios[0].Traffic.Rates[i])
+			}
+			if pt.Threads != 8 {
+				t.Errorf("%s point %d: threads %d, want the fixed pool of 8", name, i, pt.Threads)
+			}
+			st := pt.Result.Traffic
+			if st == nil {
+				t.Fatalf("%s point %d: no traffic stats", name, i)
+			}
+			if st.Offered != st.Completed+st.TimedOut {
+				t.Errorf("%s point %d: offered %d != completed %d + timed-out %d",
+					name, i, st.Offered, st.Completed, st.TimedOut)
+			}
+		}
+	}
+	if sw := pr.Scenario("closed").Sweep(); sw.Open() {
+		t.Error("closed scenario produced an open sweep")
+	}
+	if len(pr.Reports) != 1 {
+		t.Fatalf("rendered %d reports, want 1", len(pr.Reports))
+	}
+	// One row per (scenario, rate), plus the per-scenario goodput output.
+	if rows := len(pr.Reports[0].Rows); rows != 4 {
+		t.Errorf("goodput report has %d rows, want 4", rows)
+	}
+	fifo := pr.Scenario("fifo")
+	if len(fifo.Tables) != 1 || len(fifo.Tables[0].Rows) != 2 {
+		t.Errorf("per-scenario goodput output missing or malformed: %+v", fifo.Tables)
+	}
+}
+
+func TestTrafficPlanJSONRoundTrip(t *testing.T) {
+	p := trafficTestPlan()
+	var first bytes.Buffer
+	if err := p.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := LoadPlan(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := decoded.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("encode not stable:\n--- first\n%s\n--- second\n%s", first.String(), second.String())
+	}
+	ts := decoded.Scenarios[0].Traffic
+	if ts == nil || ts.Process != "poisson" || len(ts.Rates) != 2 || ts.Threads != 8 {
+		t.Errorf("traffic spec lost in round trip: %+v", ts)
+	}
+}
+
+func TestTrafficPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		warp func(*Plan)
+		want string
+	}{
+		{"traffic with thread counts", func(p *Plan) {
+			p.Scenarios[0].ThreadCounts = []int{4, 8}
+		}, "not ThreadCounts"},
+		{"empty rates", func(p *Plan) { p.Scenarios[0].Traffic.Rates = nil }, "Rates is empty"},
+		{"descending rates", func(p *Plan) {
+			p.Scenarios[0].Traffic.Rates = []float64{200, 100}
+		}, "strictly ascending"},
+		{"negative rate", func(p *Plan) {
+			p.Scenarios[0].Traffic.Rates = []float64{-1, 100}
+		}, "rate"},
+		{"unknown process", func(p *Plan) {
+			p.Scenarios[0].Traffic.Process = "bogus"
+		}, "unknown arrival process"},
+		{"closed process", func(p *Plan) {
+			p.Scenarios[0].Traffic.Process = "closed"
+		}, "open arrival process"},
+		{"iterations in open mode", func(p *Plan) {
+			p.Scenarios[0].Overrides = &ConfigOverrides{Iterations: 3}
+		}, "single iteration"},
+		{"goodput output without traffic", func(p *Plan) {
+			p.Scenarios[2].Outputs = []Output{OutputGoodput}
+		}, "needs a Traffic block"},
+		{"sweep output on traffic scenario", func(p *Plan) {
+			p.Scenarios[0].Outputs = []Output{OutputSweep}
+		}, "reads thread sweeps"},
+		{"series report over traffic scenario", func(p *Plan) {
+			p.Reports = append(p.Reports, ReportSpec{Name: "bad", Kind: ReportSeries,
+				Metric: MetricGCSeconds, Scenarios: []string{"fifo"}})
+		}, "sweeps offered rates"},
+		{"goodput report over closed scenario", func(p *Plan) {
+			p.Reports[0].Scenarios = []string{"fifo", "closed"}
+		}, "no Traffic block"},
+		{"goodput over mismatched rate grids", func(p *Plan) {
+			p.Scenarios[1].Traffic.Rates = []float64{100000, 2000000}
+		}, "share the rate grid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := trafficTestPlan()
+			tc.warp(p)
+			err := p.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -60,6 +60,15 @@ type Outcome struct {
 	Kind OutcomeKind
 	// Spin is the busy-wait budget when Kind == Spinning.
 	Spin sim.Time
+	// Contended marks a Parked outcome that fired the
+	// monitor-contended-enter probe — the thread executed the contended
+	// slow path (inflation, entry-queue CAS, park syscall) rather than
+	// being set aside without a fight. The VM charges the workload's
+	// ContentionCost on the wake-up that follows such a park, so
+	// disciplines that bypass the slow path (restricted's admission gate,
+	// spin-then-park's successful spins) dodge the charge along with the
+	// probe.
+	Contended bool
 }
 
 // Waiter is one parked thread together with the time its wait began.

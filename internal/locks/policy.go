@@ -149,7 +149,7 @@ func (fifoPolicy) Name() string { return PolicyFIFO }
 func (fifoPolicy) Contended(tb *Table, m *Monitor, t ThreadID, now sim.Time, retry bool) Outcome {
 	m.contentions++
 	m.enqueue(t, now)
-	return Outcome{Kind: Parked}
+	return Outcome{Kind: Parked, Contended: true}
 }
 
 func (fifoPolicy) Released(tb *Table, m *Monitor, now sim.Time) Handoff {
@@ -184,7 +184,7 @@ func (bargingPolicy) Contended(tb *Table, m *Monitor, t ThreadID, now sim.Time, 
 		m.contentions++
 	}
 	m.enqueue(t, since)
-	return Outcome{Kind: Parked}
+	return Outcome{Kind: Parked, Contended: !retry}
 }
 
 func (bargingPolicy) Released(tb *Table, m *Monitor, now sim.Time) Handoff {
@@ -224,7 +224,7 @@ func (p *spinThenParkPolicy) Contended(tb *Table, m *Monitor, t ThreadID, now si
 	// from the park — the spin was CPU, not blocking.
 	m.contentions++
 	m.enqueue(t, now)
-	return Outcome{Kind: Parked}
+	return Outcome{Kind: Parked, Contended: true}
 }
 
 func (p *spinThenParkPolicy) Released(tb *Table, m *Monitor, now sim.Time) Handoff {
@@ -259,8 +259,11 @@ func (p *restrictedPolicy) Contended(tb *Table, m *Monitor, t ThreadID, now sim.
 	if 1+m.QueueLength() < p.cap {
 		m.contentions++
 		m.enqueue(t, now)
-		return Outcome{Kind: Parked}
+		return Outcome{Kind: Parked, Contended: true}
 	}
+	// Gated: set aside without executing the contended slow path, so no
+	// probe and no ContentionCost — the mechanism behind restricted's
+	// goodput retention under overload.
 	p.gates[m] = append(p.gates[m], Waiter{ID: t, Since: now})
 	return Outcome{Kind: Parked}
 }

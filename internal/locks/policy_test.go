@@ -318,3 +318,51 @@ func TestPolicyNameSurfacesOnTable(t *testing.T) {
 		t.Errorf("table policy = %q, want restricted", got)
 	}
 }
+
+// TestContendedFlagTracksProbe verifies Outcome.Contended mirrors the
+// contention probe discipline by discipline: fifo fires it on every park,
+// restricted only for the circulating set (gated threads are set aside
+// without the slow path), and barging only on the first park of an
+// attempt, not the re-park after a lost race.
+func TestContendedFlagTracksProbe(t *testing.T) {
+	t.Run("fifo", func(t *testing.T) {
+		tb := NewTableWithPolicy(mustPolicy(t, PolicyFIFO), nil)
+		m := tb.Create("hot")
+		tb.Acquire(m, 1, 0)
+		if out := tb.Acquire(m, 2, 1); out.Kind != Parked || !out.Contended {
+			t.Errorf("fifo park = %+v, want Parked+Contended", out)
+		}
+	})
+	t.Run("restricted", func(t *testing.T) {
+		tb := NewTableWithPolicy(Restricted(2), nil)
+		m := tb.Create("hot")
+		tb.Acquire(m, 1, 0)
+		// Thread 2 joins the circulating set (owner + 1 < cap): probe fires.
+		if out := tb.Acquire(m, 2, 1); out.Kind != Parked || !out.Contended {
+			t.Errorf("circulating park = %+v, want Parked+Contended", out)
+		}
+		// Thread 3 is gated: parked without the probe, so no charge.
+		if out := tb.Acquire(m, 3, 2); out.Kind != Parked || out.Contended {
+			t.Errorf("gated park = %+v, want Parked without Contended", out)
+		}
+		if got := m.Contentions(); got != 1 {
+			t.Errorf("contentions = %d, want 1 (the gate never probes)", got)
+		}
+	})
+	t.Run("barging re-park", func(t *testing.T) {
+		tb := NewTableWithPolicy(mustPolicy(t, PolicyBarging), nil)
+		m := tb.Create("hot")
+		tb.Acquire(m, 1, 0)
+		if out := tb.Acquire(m, 2, 1); !out.Contended {
+			t.Errorf("first park = %+v, want Contended", out)
+		}
+		tb.Acquire(m, 3, 2)
+		// Release wakes both; thread 3 wins the race, thread 2's retry
+		// re-parks — the probe (and its cost) already fired at first park.
+		tb.Release(m, 1, 3)
+		tb.Retry(m, 3, 4)
+		if out := tb.Retry(m, 2, 5); out.Kind != Parked || out.Contended {
+			t.Errorf("lost-race re-park = %+v, want Parked without Contended", out)
+		}
+	})
+}

@@ -129,8 +129,11 @@ func (h *Histogram) FractionBelow(limit int64) float64 {
 	return float64(below) / float64(h.total)
 }
 
-// Percentile returns an estimate of the p-th percentile (0 < p <= 100)
-// using the bucket upper bounds.
+// Percentile returns an estimate of the p-th percentile (0 < p <= 100),
+// interpolating linearly inside the bucket containing the target rank
+// (the same within-bucket model as FractionBelow) and clamping to the
+// observed [min, max]. Without interpolation every answer is a power of
+// two, which quantizes latency tails far too coarsely to compare.
 func (h *Histogram) Percentile(p float64) int64 {
 	if h.total == 0 {
 		return 0
@@ -141,16 +144,21 @@ func (h *Histogram) Percentile(p float64) int64 {
 	if p >= 100 {
 		return h.max
 	}
-	target := int64(math.Ceil(float64(h.total) * p / 100))
+	target := float64(h.total) * p / 100
 	var cum int64
 	for i, c := range h.counts {
-		cum += c
-		if cum >= target {
-			if i == 0 {
-				return 0
+		if float64(cum+c) >= target && c > 0 {
+			// Bucket i spans [2^(i-1), 2^i); bucket 0 is the single value 0.
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(1) << uint(i-1)
 			}
-			return int64(1) << uint(i)
+			hi := int64(1) << uint(i)
+			frac := (target - float64(cum)) / float64(c)
+			est := int64(float64(lo) + frac*float64(hi-lo))
+			return max(h.min, min(h.max, est))
 		}
+		cum += c
 	}
 	return h.max
 }

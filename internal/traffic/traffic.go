@@ -1,0 +1,359 @@
+// Package traffic models open-system load: instead of N threads
+// iterating over a fixed work pool (the closed-loop model every DaCapo
+// benchmark uses), an arrival process injects requests into the
+// simulation at a configured rate, and a fixed pool of server threads
+// drains them through a shared queue. The distinction matters because
+// queueing delay compounds into tail latency only in open systems —
+// a closed loop self-throttles, so saturation shows up as lower
+// throughput, never as an unbounded queue (JCiP ch. 11).
+//
+// Arrival processes are pluggable through a string-keyed registry, like
+// lock policies and scheduler placements: "poisson" (memoryless),
+// "bursty" (an MMPP-style on/off modulation), "diurnal" (a sinusoidal
+// rate curve sampled by thinning), and "closed" (the adapter that
+// selects the existing closed-loop model). All draws come from forked
+// sim.Rand streams, so runs stay bit-for-bit reproducible per seed.
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"javasim/internal/registry"
+	"javasim/internal/sim"
+)
+
+// Process generates the arrival sequence: Next returns the delay from
+// now until the next request arrives. Implementations may keep internal
+// state (the bursty process tracks its on/off phase) but must draw all
+// randomness from the provided rng so equal seeds reproduce equal
+// traces.
+type Process interface {
+	// Next returns the gap between the arrival at now and the next
+	// arrival. The returned delay must be positive.
+	Next(now sim.Time, rng *sim.Rand) sim.Time
+}
+
+// Factory builds a Process for one run from its canonicalized Config.
+// A nil Process (with nil error) selects the closed-loop model — that
+// is how the "closed" adapter defers to the existing machinery.
+type Factory func(cfg Config) (Process, error)
+
+// Built-in process names.
+const (
+	// ProcessPoisson is the memoryless arrival process: exponential
+	// inter-arrival gaps at RatePerSec.
+	ProcessPoisson = "poisson"
+	// ProcessBursty is an MMPP-style on/off modulated Poisson process:
+	// the rate alternates between a burst rate (BurstFactor x the mean)
+	// and a trough rate chosen so the long-run average stays RatePerSec.
+	ProcessBursty = "bursty"
+	// ProcessDiurnal modulates the rate along a sinusoid of period
+	// DiurnalPeriod and relative amplitude DiurnalAmplitude, sampled by
+	// thinning.
+	ProcessDiurnal = "diurnal"
+	// ProcessClosed is the adapter onto today's closed-loop model: the
+	// run executes exactly as if no Traffic block were configured.
+	ProcessClosed = "closed"
+)
+
+// Config selects and parameterizes the arrival process for one run. It
+// is embedded in vm.Config, so it must round-trip through JSON and its
+// Canonical form decides cache-key identity.
+type Config struct {
+	// Process names the arrival process in the registry; empty or
+	// "closed" selects the closed-loop model and ignores every other
+	// field.
+	Process string `json:",omitempty"`
+	// RatePerSec is the mean offered load in requests per second.
+	// Open-system runs require it to be positive.
+	RatePerSec float64 `json:",omitempty"`
+	// Requests bounds the run: the process stops injecting after this
+	// many arrivals. Zero defaults to the workload's TotalUnits.
+	Requests int `json:",omitempty"`
+	// Timeout abandons requests that wait in the queue longer than this
+	// before dispatch (admission timeout); zero means requests never
+	// abandon. Timed-out requests count toward offered load but not
+	// goodput.
+	Timeout sim.Time `json:",omitempty"`
+	// BurstFactor is the bursty process's on-state rate multiple; zero
+	// defaults to 3.
+	BurstFactor float64 `json:",omitempty"`
+	// BurstOnFraction is the long-run fraction of time the bursty
+	// process spends in the on state; zero defaults to 0.3.
+	BurstOnFraction float64 `json:",omitempty"`
+	// BurstPeriod is the mean on+off cycle length; zero defaults to
+	// 50ms.
+	BurstPeriod sim.Time `json:",omitempty"`
+	// DiurnalPeriod is the sinusoid's full period; zero defaults to 2s
+	// (a day compressed to simulation scale).
+	DiurnalPeriod sim.Time `json:",omitempty"`
+	// DiurnalAmplitude is the sinusoid's relative amplitude in [0, 1);
+	// zero defaults to 0.8.
+	DiurnalAmplitude float64 `json:",omitempty"`
+}
+
+// Open reports whether the config selects an open-system run. Empty and
+// "closed" both mean the existing closed-loop model.
+func (c Config) Open() bool {
+	return c.Process != "" && c.Process != ProcessClosed
+}
+
+// Canonical resolves defaults into the form two configs must be
+// compared in to decide whether they describe the same run. A closed
+// config (empty or "closed") canonicalizes to the zero value, so a run
+// that spells out the closed adapter shares its cache entry — and its
+// Result — with a plain closed-loop run.
+func (c Config) Canonical() Config {
+	if !c.Open() {
+		return Config{}
+	}
+	if c.BurstFactor == 0 {
+		c.BurstFactor = 3
+	}
+	if c.BurstOnFraction == 0 {
+		c.BurstOnFraction = 0.3
+	}
+	if c.BurstPeriod == 0 {
+		c.BurstPeriod = 50 * sim.Millisecond
+	}
+	if c.DiurnalPeriod == 0 {
+		c.DiurnalPeriod = 2 * sim.Second
+	}
+	if c.DiurnalAmplitude == 0 {
+		c.DiurnalAmplitude = 0.8
+	}
+	return c
+}
+
+// Validate reports structurally impossible configurations.
+func (c Config) Validate() error {
+	if !c.Open() {
+		return nil
+	}
+	if err := ValidateProcess(c.Process); err != nil {
+		return err
+	}
+	if c.RatePerSec <= 0 {
+		return fmt.Errorf("traffic: process %q needs RatePerSec > 0 (got %v)", c.Process, c.RatePerSec)
+	}
+	if c.Requests < 0 {
+		return fmt.Errorf("traffic: Requests = %d", c.Requests)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("traffic: Timeout = %v", c.Timeout)
+	}
+	if c.BurstFactor < 0 || c.BurstPeriod < 0 {
+		return fmt.Errorf("traffic: negative burst parameter")
+	}
+	if c.BurstOnFraction < 0 || c.BurstOnFraction >= 1 {
+		return fmt.Errorf("traffic: BurstOnFraction = %v outside [0, 1)", c.BurstOnFraction)
+	}
+	if c.DiurnalPeriod < 0 {
+		return fmt.Errorf("traffic: DiurnalPeriod = %v", c.DiurnalPeriod)
+	}
+	if c.DiurnalAmplitude < 0 || c.DiurnalAmplitude >= 1 {
+		return fmt.Errorf("traffic: DiurnalAmplitude = %v outside [0, 1)", c.DiurnalAmplitude)
+	}
+	return nil
+}
+
+// processes is the arrival-process registry. Factories receive the
+// canonicalized config and mint a fresh Process per run (processes hold
+// per-run state).
+var processes = registry.New[Factory]("arrival process")
+
+// Register adds an arrival process under name. Names are unique;
+// registering an existing one (including the built-ins) is an error.
+func Register(name string, factory Factory) error {
+	if factory == nil {
+		return fmt.Errorf("traffic: nil factory for arrival process %q", name)
+	}
+	if err := processes.Register(name, func() Factory { return factory }); err != nil {
+		return fmt.Errorf("traffic: %w", err)
+	}
+	return nil
+}
+
+// NewProcess builds the named process from the canonicalized cfg. The
+// "closed" adapter returns a nil Process: the caller runs the existing
+// closed-loop model.
+func NewProcess(name string, cfg Config) (Process, error) {
+	factory, err := processes.New(name)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	return factory(cfg.Canonical())
+}
+
+// ValidateProcess reports whether name resolves in the registry. The
+// empty name is valid (closed-loop default), mirroring the other policy
+// validators.
+func ValidateProcess(name string) error {
+	if name == "" || processes.Known(name) {
+		return nil
+	}
+	_, err := processes.New(name)
+	return fmt.Errorf("traffic: %w", err)
+}
+
+// Names returns every registered arrival-process name in registration
+// order.
+func Names() []string { return processes.Names() }
+
+func init() {
+	processes.MustRegister(ProcessPoisson, func() Factory { return newPoisson })
+	processes.MustRegister(ProcessBursty, func() Factory { return newBursty })
+	processes.MustRegister(ProcessDiurnal, func() Factory { return newDiurnal })
+	processes.MustRegister(ProcessClosed, func() Factory {
+		return func(Config) (Process, error) { return nil, nil }
+	})
+}
+
+// --- Poisson ------------------------------------------------------------
+
+// poisson draws exponential inter-arrival gaps: the memoryless baseline
+// of open-system load models.
+type poisson struct {
+	meanGapNS float64
+}
+
+func newPoisson(cfg Config) (Process, error) {
+	if cfg.RatePerSec <= 0 {
+		return nil, fmt.Errorf("traffic: poisson needs RatePerSec > 0 (got %v)", cfg.RatePerSec)
+	}
+	return &poisson{meanGapNS: 1e9 / cfg.RatePerSec}, nil
+}
+
+func (p *poisson) Next(_ sim.Time, rng *sim.Rand) sim.Time {
+	return expGap(rng, p.meanGapNS)
+}
+
+// expGap draws an exponential gap with the given mean in nanoseconds,
+// floored at 1ns so consecutive arrivals always advance virtual time.
+func expGap(rng *sim.Rand, meanNS float64) sim.Time {
+	g := sim.Time(rng.Exp(meanNS))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// --- Bursty (MMPP-style on/off) -----------------------------------------
+
+// bursty is a two-state Markov-modulated Poisson process: exponential
+// sojourns in an "on" state arriving at BurstFactor x the mean rate and
+// an "off" state at the complementary trough rate, chosen so the
+// long-run average equals RatePerSec. Memorylessness lets Next redraw
+// the pending gap whenever a state boundary passes before the arrival.
+type bursty struct {
+	onGapNS  float64 // mean inter-arrival gap while on
+	offGapNS float64 // mean gap while off; 0 means no arrivals when off
+	onMean   float64 // mean on-sojourn, ns
+	offMean  float64 // mean off-sojourn, ns
+
+	on       bool
+	stateEnd sim.Time
+	seeded   bool
+}
+
+func newBursty(cfg Config) (Process, error) {
+	if cfg.RatePerSec <= 0 {
+		return nil, fmt.Errorf("traffic: bursty needs RatePerSec > 0 (got %v)", cfg.RatePerSec)
+	}
+	if cfg.BurstOnFraction <= 0 || cfg.BurstOnFraction >= 1 || cfg.BurstPeriod <= 0 || cfg.BurstFactor <= 0 {
+		return nil, fmt.Errorf("traffic: bursty needs BurstFactor, BurstOnFraction in (0,1), and BurstPeriod > 0 — canonicalize the config first")
+	}
+	f := cfg.BurstOnFraction
+	rateOn := cfg.RatePerSec * cfg.BurstFactor
+	// Long-run average: f*rateOn + (1-f)*rateOff = RatePerSec.
+	rateOff := cfg.RatePerSec * (1 - f*cfg.BurstFactor) / (1 - f)
+	if rateOff < 0 {
+		rateOff = 0
+	}
+	b := &bursty{
+		onMean:  f * float64(cfg.BurstPeriod),
+		offMean: (1 - f) * float64(cfg.BurstPeriod),
+	}
+	if rateOn > 0 {
+		b.onGapNS = 1e9 / rateOn
+	}
+	if rateOff > 0 {
+		b.offGapNS = 1e9 / rateOff
+	}
+	return b, nil
+}
+
+func (b *bursty) Next(now sim.Time, rng *sim.Rand) sim.Time {
+	if !b.seeded {
+		// Start in the off state so the first burst onset is itself
+		// random; the first sojourn begins at the first call's now.
+		b.seeded = true
+		b.on = false
+		b.stateEnd = now + sim.Time(rng.Exp(b.offMean))
+	}
+	t := now
+	for {
+		gap := b.onGapNS
+		if !b.on {
+			gap = b.offGapNS
+		}
+		if gap > 0 {
+			arrival := t + expGap(rng, gap)
+			if arrival <= b.stateEnd {
+				d := arrival - now
+				if d < 1 {
+					d = 1
+				}
+				return d
+			}
+		}
+		// No arrival before the state boundary: advance to it, flip
+		// state, and redraw (valid by memorylessness).
+		t = b.stateEnd
+		b.on = !b.on
+		mean := b.offMean
+		if b.on {
+			mean = b.onMean
+		}
+		b.stateEnd = t + sim.Time(rng.Exp(mean))
+	}
+}
+
+// --- Diurnal (sinusoidal rate curve) ------------------------------------
+
+// diurnal modulates the Poisson rate along a sinusoid — the compressed
+// day/night load curve of a user-facing service — and samples it by
+// thinning against the peak rate.
+type diurnal struct {
+	baseRate float64 // per ns
+	amp      float64
+	period   float64 // ns
+}
+
+func newDiurnal(cfg Config) (Process, error) {
+	if cfg.RatePerSec <= 0 || cfg.DiurnalPeriod <= 0 || cfg.DiurnalAmplitude < 0 || cfg.DiurnalAmplitude >= 1 {
+		return nil, fmt.Errorf("traffic: diurnal needs RatePerSec > 0, DiurnalPeriod > 0, and DiurnalAmplitude in [0,1) — canonicalize the config first")
+	}
+	return &diurnal{
+		baseRate: cfg.RatePerSec / 1e9,
+		amp:      cfg.DiurnalAmplitude,
+		period:   float64(cfg.DiurnalPeriod),
+	}, nil
+}
+
+func (d *diurnal) Next(now sim.Time, rng *sim.Rand) sim.Time {
+	rmax := d.baseRate * (1 + d.amp)
+	t := now
+	for {
+		t += expGap(rng, 1/rmax)
+		rate := d.baseRate * (1 + d.amp*math.Sin(2*math.Pi*float64(t)/d.period))
+		if rng.Float64()*rmax < rate {
+			gap := t - now
+			if gap < 1 {
+				gap = 1
+			}
+			return gap
+		}
+	}
+}

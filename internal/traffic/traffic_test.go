@@ -1,0 +1,200 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"javasim/internal/sim"
+)
+
+func mkProcess(t *testing.T, name string, cfg Config) Process {
+	t.Helper()
+	p, err := NewProcess(name, cfg)
+	if err != nil {
+		t.Fatalf("NewProcess(%q): %v", name, err)
+	}
+	return p
+}
+
+// drawTrace generates n arrival instants from a fresh process and rng.
+func drawTrace(t *testing.T, name string, cfg Config, seed uint64, n int) []sim.Time {
+	t.Helper()
+	cfg.Process = name
+	cfg = cfg.Canonical()
+	p := mkProcess(t, name, cfg)
+	rng := sim.NewRand(seed)
+	out := make([]sim.Time, n)
+	now := sim.Time(0)
+	for i := range out {
+		gap := p.Next(now, rng)
+		if gap <= 0 {
+			t.Fatalf("%s: non-positive gap %v at arrival %d", name, gap, i)
+		}
+		now += gap
+		out[i] = now
+	}
+	return out
+}
+
+// TestDeterminism verifies equal seeds reproduce identical arrival
+// traces for every built-in open process.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{RatePerSec: 50000}
+	for _, name := range []string{ProcessPoisson, ProcessBursty, ProcessDiurnal} {
+		a := drawTrace(t, name, cfg, 7, 2000)
+		b := drawTrace(t, name, cfg, 7, 2000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: traces diverge at arrival %d: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+		c := drawTrace(t, name, cfg, 8, 2000)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical traces", name)
+		}
+	}
+}
+
+// TestMeanRate verifies each process's long-run average rate converges
+// on RatePerSec. Bursty and diurnal modulate the instantaneous rate but
+// preserve the mean by construction.
+func TestMeanRate(t *testing.T) {
+	const rate = 100000.0
+	cfg := Config{RatePerSec: rate}
+	const n = 200000
+	for _, name := range []string{ProcessPoisson, ProcessBursty, ProcessDiurnal} {
+		trace := drawTrace(t, name, cfg, 11, n)
+		span := trace[len(trace)-1].Seconds()
+		got := float64(n) / span
+		if math.Abs(got-rate)/rate > 0.05 {
+			t.Errorf("%s: long-run rate %.0f/s, want %.0f/s ±5%%", name, got, rate)
+		}
+	}
+}
+
+// TestBurstyModulates verifies the bursty process actually alternates
+// between dense and sparse stretches rather than degenerating to
+// Poisson: the variance of per-window arrival counts must exceed the
+// Poisson variance (= mean) by a wide margin.
+func TestBurstyModulates(t *testing.T) {
+	cfg := Config{Process: ProcessBursty, RatePerSec: 100000}.Canonical()
+	trace := drawTrace(t, ProcessBursty, cfg, 3, 100000)
+	window := cfg.BurstPeriod / 4
+	counts := make(map[sim.Time]float64)
+	for _, at := range trace {
+		counts[at/window]++
+	}
+	last := trace[len(trace)-1] / window
+	var sum, sumsq float64
+	for w := sim.Time(0); w < last; w++ {
+		c := counts[w]
+		sum += c
+		sumsq += c * c
+	}
+	n := float64(last)
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 2*mean {
+		t.Fatalf("bursty window counts look Poisson: mean %.1f variance %.1f", mean, variance)
+	}
+}
+
+// TestClosedAdapter verifies the closed adapter returns a nil process —
+// the signal to run the existing closed-loop model.
+func TestClosedAdapter(t *testing.T) {
+	p, err := NewProcess(ProcessClosed, Config{Process: ProcessClosed})
+	if err != nil {
+		t.Fatalf("closed adapter: %v", err)
+	}
+	if p != nil {
+		t.Fatalf("closed adapter returned non-nil process %T", p)
+	}
+}
+
+// TestCanonical verifies closed-equivalent configs collapse to the zero
+// value (sharing cache keys with plain closed-loop runs) and open
+// configs resolve their defaults.
+func TestCanonical(t *testing.T) {
+	for _, c := range []Config{{}, {Process: ProcessClosed}, {Process: ProcessClosed, RatePerSec: 100}} {
+		if got := c.Canonical(); got != (Config{}) {
+			t.Errorf("Canonical(%+v) = %+v, want zero", c, got)
+		}
+	}
+	open := Config{Process: ProcessPoisson, RatePerSec: 100}.Canonical()
+	if open.BurstFactor != 3 || open.BurstOnFraction != 0.3 || open.BurstPeriod != 50*sim.Millisecond {
+		t.Errorf("open canonical burst defaults wrong: %+v", open)
+	}
+	if open.DiurnalPeriod != 2*sim.Second || open.DiurnalAmplitude != 0.8 {
+		t.Errorf("open canonical diurnal defaults wrong: %+v", open)
+	}
+}
+
+// TestValidate exercises the config validator's rejections.
+func TestValidate(t *testing.T) {
+	ok := Config{Process: ProcessPoisson, RatePerSec: 100}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("closed config rejected: %v", err)
+	}
+	bad := []Config{
+		{Process: "no-such-process", RatePerSec: 100},
+		{Process: ProcessPoisson},
+		{Process: ProcessPoisson, RatePerSec: -1},
+		{Process: ProcessPoisson, RatePerSec: 100, Requests: -1},
+		{Process: ProcessPoisson, RatePerSec: 100, Timeout: -1},
+		{Process: ProcessBursty, RatePerSec: 100, BurstOnFraction: 1},
+		{Process: ProcessDiurnal, RatePerSec: 100, DiurnalAmplitude: 1.5},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", c)
+		}
+	}
+}
+
+// TestRegister verifies registration uniqueness and custom resolution.
+func TestRegister(t *testing.T) {
+	if err := Register("test-fixed", func(cfg Config) (Process, error) {
+		return fixedGap(sim.Time(1e9 / cfg.RatePerSec)), nil
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := Register("test-fixed", func(Config) (Process, error) { return nil, nil }); err == nil {
+		t.Fatalf("duplicate registration accepted")
+	}
+	if err := Register("nil-factory", nil); err == nil {
+		t.Fatalf("nil factory accepted")
+	}
+	if err := ValidateProcess("test-fixed"); err != nil {
+		t.Fatalf("ValidateProcess: %v", err)
+	}
+	if err := ValidateProcess("absent"); err == nil {
+		t.Fatalf("ValidateProcess accepted unknown name")
+	}
+	p := mkProcess(t, "test-fixed", Config{Process: "test-fixed", RatePerSec: 1000})
+	if gap := p.Next(0, sim.NewRand(1)); gap != sim.Time(1e6) {
+		t.Fatalf("custom process gap = %v, want 1ms", gap)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-fixed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() missing registered process: %v", Names())
+	}
+}
+
+type fixedGap sim.Time
+
+func (f fixedGap) Next(sim.Time, *sim.Rand) sim.Time { return sim.Time(f) }

@@ -275,6 +275,12 @@ func (v *vm) resumeWorld() {
 	if len(v.gcQueue) > 0 {
 		v.startNextGC(nil)
 	}
+	// Requests that arrived during the pause wait in the queue; hand
+	// them to idle servers now that the world is running again (a no-op
+	// when another collection is already pending).
+	if v.openSt != nil {
+		v.openDispatch()
+	}
 }
 
 func (v *vm) emitGCTrace(kind gc.Kind, start, dur sim.Time) {

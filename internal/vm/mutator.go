@@ -133,6 +133,10 @@ func (v *vm) completeUnit(m *mutator) {
 	}
 	m.unitRing[bucket] = m.unitRing[bucket][:0]
 	m.unitCount++
+	if v.openSt != nil {
+		v.openComplete(m)
+		return
+	}
 	v.fetchWork(m)
 }
 
@@ -230,6 +234,7 @@ func (v *vm) attemptAcquire(m *mutator, mon *locks.Monitor, owned func(), retry 
 	case locks.Spinning:
 		v.sched.Submit(m.th, out.Spin, func() { v.attemptAcquire(m, mon, owned, true) })
 	case locks.Parked:
+		m.parkedContended = out.Contended
 		v.setMutatorState(m, stLockWait)
 		m.resume = func() {
 			m.resume, m.lockRetry = nil, nil
@@ -250,20 +255,35 @@ func (v *vm) attemptAcquire(m *mutator, mon *locks.Monitor, owned func(), retry 
 
 // releaseMonitor releases mon, wakes the thread the policy handed the
 // monitor to (if any), and wakes every competitive waiter to re-attempt.
+// A wake that resolves a probe-firing park is charged the workload's
+// ContentionCost as a CPU segment ahead of the continuation — the unpark
+// round trip of the contended slow path. Parks the policy resolved
+// without the probe (restricted's gate grants) wake free, which is how a
+// nonzero ContentionCost separates the disciplines in the time domain.
 func (v *vm) releaseMonitor(m *mutator, mon *locks.Monitor) {
 	h := v.locks.Release(mon, locks.ThreadID(m.idx), v.sim.Now())
 	if h.Direct {
 		other := v.mutators[int(h.Next)]
 		v.sched.Unblock(other.th)
 		resume := other.resume
-		v.sched.Submit(other.th, 0, resume)
+		v.sched.Submit(other.th, v.wakeCost(other), resume)
 	}
 	for _, w := range h.Retry {
 		other := v.mutators[int(w.ID)]
 		v.sched.Unblock(other.th)
 		retry := other.lockRetry
-		v.sched.Submit(other.th, 0, retry)
+		v.sched.Submit(other.th, v.wakeCost(other), retry)
 	}
+}
+
+// wakeCost consumes m's pending slow-path charge: ContentionCost when the
+// park being resolved fired the contended-enter probe, zero otherwise.
+func (v *vm) wakeCost(m *mutator) sim.Time {
+	if !m.parkedContended {
+		return 0
+	}
+	m.parkedContended = false
+	return v.spec.ContentionCost
 }
 
 // --- Phase barrier ------------------------------------------------------

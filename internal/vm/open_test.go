@@ -1,0 +1,224 @@
+package vm
+
+import (
+	"reflect"
+	"testing"
+
+	"javasim/internal/sim"
+	"javasim/internal/traffic"
+	"javasim/internal/workload"
+)
+
+// openServer is the open-mode test workload: the steady-state server
+// model (no barrier phases), shrunk so a few thousand requests finish
+// quickly.
+func openServer() workload.Spec { return workload.ServerSpec().Scale(0.2) }
+
+func openCfg(process string, rate float64) Config {
+	return Config{
+		Threads: 8,
+		Seed:    42,
+		Traffic: traffic.Config{
+			Process:    process,
+			RatePerSec: rate,
+			Requests:   2000,
+		},
+	}
+}
+
+// checkOpenInvariants asserts the accounting identities every open run
+// must satisfy, whatever the process or load level.
+func checkOpenInvariants(t *testing.T, res *Result) *traffic.Stats {
+	t.Helper()
+	st := res.Traffic
+	if st == nil {
+		t.Fatal("open run returned nil Traffic stats")
+	}
+	if st.Offered != st.Completed+st.TimedOut {
+		t.Errorf("accounting leak: offered %d != completed %d + timed-out %d",
+			st.Offered, st.Completed, st.TimedOut)
+	}
+	if st.Latency.Total() != st.Completed {
+		t.Errorf("latency samples %d != completed %d", st.Latency.Total(), st.Completed)
+	}
+	if st.QueueWait.Total() != st.Completed {
+		t.Errorf("queue-wait samples %d != completed %d", st.QueueWait.Total(), st.Completed)
+	}
+	if st.QueueDepthMean < 0 || float64(st.QueueDepthMax) < st.QueueDepthMean {
+		t.Errorf("queue depth mean %.2f max %d inconsistent", st.QueueDepthMean, st.QueueDepthMax)
+	}
+	// Latency = queue wait + service; the tail can never undercut the wait.
+	if st.Latency.Max() < st.QueueWait.Max() {
+		t.Errorf("max latency %v < max queue wait %v",
+			sim.Time(st.Latency.Max()), sim.Time(st.QueueWait.Max()))
+	}
+	return st
+}
+
+func TestOpenSmoke(t *testing.T) {
+	for _, process := range []string{traffic.ProcessPoisson, traffic.ProcessBursty, traffic.ProcessDiurnal} {
+		res, err := Run(openServer(), openCfg(process, 150000))
+		if err != nil {
+			t.Fatalf("%s: %v", process, err)
+		}
+		st := checkOpenInvariants(t, res)
+		if st.Offered != 2000 {
+			t.Errorf("%s: offered %d, want 2000", process, st.Offered)
+		}
+		if st.TimedOut != 0 {
+			t.Errorf("%s: %d requests timed out with no timeout configured", process, st.TimedOut)
+		}
+		if st.Process != process {
+			t.Errorf("stats process %q, want %q", st.Process, process)
+		}
+	}
+}
+
+// TestOpenDeterminism verifies the full open-system measurement record —
+// arrivals, latencies, queue trajectory — reproduces bit-identically
+// under one seed and diverges under another.
+func TestOpenDeterminism(t *testing.T) {
+	run := func(seed uint64) *Result {
+		cfg := openCfg(traffic.ProcessBursty, 200000)
+		cfg.Seed = seed
+		res, err := Run(openServer(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(7), run(7)
+	if a.TotalTime != b.TotalTime {
+		t.Errorf("total time diverged: %v vs %v", a.TotalTime, b.TotalTime)
+	}
+	if !reflect.DeepEqual(a.Traffic, b.Traffic) {
+		t.Errorf("traffic stats diverged under one seed:\n%+v\nvs\n%+v", a.Traffic, b.Traffic)
+	}
+	c := run(8)
+	if a.TotalTime == c.TotalTime && reflect.DeepEqual(a.Traffic, c.Traffic) {
+		t.Error("different seeds produced identical open runs")
+	}
+}
+
+// TestOpenTimeoutAccounting drives the queue far past saturation with a
+// tight deadline: requests must time out, and every offered request must
+// still be accounted completed or abandoned.
+func TestOpenTimeoutAccounting(t *testing.T) {
+	cfg := openCfg(traffic.ProcessPoisson, 2000000) // ~10x the service capacity
+	cfg.Traffic.Timeout = 200 * sim.Microsecond
+	res, err := Run(openServer(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := checkOpenInvariants(t, res)
+	if st.TimedOut == 0 {
+		t.Error("overloaded run with a 200µs deadline abandoned nothing")
+	}
+	if st.Completed == 0 {
+		t.Error("no requests completed")
+	}
+	// Completed requests never waited past the deadline: expiry happens
+	// before dispatch, so the wait distribution is censored at Timeout.
+	if max := sim.Time(st.QueueWait.Max()); max > cfg.Traffic.Timeout {
+		t.Errorf("a completed request waited %v, past the %v deadline", max, cfg.Traffic.Timeout)
+	}
+}
+
+// TestOpenClosedDifferential verifies the closed adapter is the identity:
+// naming "closed" as the arrival process reproduces the plain closed-loop
+// run bit-for-bit, Result field by Result field.
+func TestOpenClosedDifferential(t *testing.T) {
+	spec := smallSpec()
+	base := Config{Threads: 6, Seed: 99}
+	adapter := base
+	adapter.Traffic = traffic.Config{Process: traffic.ProcessClosed}
+	plain, err := Run(spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaAdapter, err := Run(spec, adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, viaAdapter) {
+		t.Errorf("closed adapter changed the run:\nplain:   %+v\nadapter: %+v", plain, viaAdapter)
+	}
+}
+
+// TestOpenValidation exercises the config rejections specific to open
+// mode.
+func TestOpenValidation(t *testing.T) {
+	spec := openServer()
+	bad := openCfg("no-such-process", 100000)
+	if _, err := Run(spec, bad); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+	noRate := openCfg(traffic.ProcessPoisson, 0)
+	if _, err := Run(spec, noRate); err == nil {
+		t.Error("open run with zero rate accepted")
+	}
+	iter := openCfg(traffic.ProcessPoisson, 100000)
+	iter.Iterations = 2
+	if _, err := Run(spec, iter); err == nil {
+		t.Error("open run with Iterations > 1 accepted")
+	}
+	phased := openCfg(traffic.ProcessPoisson, 100000)
+	if _, err := Run(workload.XalanSpec().Scale(0.05), phased); err == nil {
+		t.Error("open run over a barrier-phased workload accepted")
+	}
+}
+
+// TestOpenGoodputKnee verifies the open-system physics the subsystem
+// exists to measure: past the saturation rate, goodput stops tracking
+// offered load and the latency tail inflates.
+func TestOpenGoodputKnee(t *testing.T) {
+	measure := func(rate float64) (goodput float64, p99 sim.Time) {
+		res, err := Run(openServer(), openCfg(traffic.ProcessPoisson, rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := checkOpenInvariants(t, res)
+		return st.GoodputPerSec(res.TotalTime), sim.Time(st.Latency.Percentile(99))
+	}
+	lowGood, lowP99 := measure(50000)
+	highGood, highP99 := measure(2000000)
+	if lowGood < 45000 || lowGood > 55000 {
+		t.Errorf("underloaded goodput %.0f/s, want ~50000/s (offered)", lowGood)
+	}
+	if highGood > 1000000 {
+		t.Errorf("overloaded goodput %.0f/s tracks a 2M/s offered rate — no saturation", highGood)
+	}
+	if highP99 < 4*lowP99 {
+		t.Errorf("p99 %v at 40x load vs %v underloaded — queueing delay missing", highP99, lowP99)
+	}
+}
+
+// TestOpenContentionCostSeparatesPolicies pins the open-system result the
+// subsystem was built to demonstrate: with a nonzero ContentionCost (the
+// contended-unpark round trip), restricted's admission gate — which parks
+// surplus threads without the probe-firing slow path — sustains higher
+// goodput past the saturation knee than fifo, which pays the charge on
+// every contended acquire. With the cost at zero the disciplines tie.
+func TestOpenContentionCostSeparatesPolicies(t *testing.T) {
+	spec := openServer()
+	spec.SharedLocks = 1
+	spec.LockOpsPerUnit = 2
+	spec.LockHold = 2 * sim.Microsecond
+	spec.UnitCompute = 20 * sim.Microsecond
+	spec.ContentionCost = 5 * sim.Microsecond
+	goodput := func(policy string) float64 {
+		cfg := openCfg(traffic.ProcessPoisson, 400000) // far past the knee
+		cfg.Threads = 16
+		cfg.LockPolicy = policy
+		cfg.Traffic.Timeout = 2 * sim.Millisecond
+		res, err := Run(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return checkOpenInvariants(t, res).GoodputPerSec(res.TotalTime)
+	}
+	fifo, restricted := goodput("fifo"), goodput("restricted")
+	if restricted < 1.2*fifo {
+		t.Errorf("restricted goodput %.0f/s vs fifo %.0f/s — admission control is not retaining goodput under overload", restricted, fifo)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"javasim/internal/sched"
 	"javasim/internal/sim"
 	"javasim/internal/trace"
+	"javasim/internal/traffic"
 	"javasim/internal/workload"
 )
 
@@ -102,6 +103,13 @@ type Config struct {
 	// compiler, profiler): every period each helper computes for burst.
 	HelperPeriod sim.Time
 	HelperBurst  sim.Time
+	// Traffic selects the open-system arrival model: requests injected
+	// at a rate and served by the mutator pool, instead of the default
+	// closed loop where N threads iterate over a fixed work pool. The
+	// zero value (and the "closed" process) keeps the closed loop.
+	// Open-system runs require Iterations <= 1 and a phase-free
+	// workload.
+	Traffic traffic.Config
 }
 
 // Canonical returns the configuration with every zero value resolved to
@@ -169,6 +177,7 @@ func (c Config) withDefaults() Config {
 		c.Sched.Placement = sched.PlacementAffinity
 	}
 	c.Sched.Steal = true
+	c.Traffic = c.Traffic.Canonical()
 	return c
 }
 
@@ -242,6 +251,11 @@ type Result struct {
 	PerThreadBlocked   []sim.Time
 
 	Utilization float64
+
+	// Traffic holds the open-system measurements (per-request latency,
+	// queue behavior, offered/completed/timed-out accounting) for runs
+	// configured with an open arrival process; nil for closed-loop runs.
+	Traffic *traffic.Stats
 }
 
 // HeapSample is heap state observed right after one collection.
@@ -269,6 +283,7 @@ const (
 	stBarrier                      // parked at a phase barrier
 	stGCWait                       // parked for a stop-the-world collection
 	stDone                         // all work finished, thread terminated
+	stIdleOpen                     // open-system server parked awaiting a request
 )
 
 type mutator struct {
@@ -298,9 +313,20 @@ type mutator struct {
 	// thread must race for it again.
 	lockRetry func()
 
+	// parkedContended records whether the park in progress fired the
+	// contended-enter probe; the wake that resolves it charges the
+	// workload's ContentionCost when set (see releaseMonitor).
+	parkedContended bool
+
 	// gcRetries counts consecutive allocation failures; repeated failure
 	// after collections is an OutOfMemoryError.
 	gcRetries int
+
+	// Open-system state: the arrival time of the request being served,
+	// and whether this server was woken for a dispatch it has not yet
+	// consumed (see openState.committed).
+	reqArrival sim.Time
+	openWoken  bool
 
 	// Death scheduling. allocRing buckets objects dying after N more own
 	// allocations; unitRing buckets objects dying at future unit ends.
@@ -370,6 +396,9 @@ type vm struct {
 	iterPauses int
 	unitsAccum []int64
 
+	// openSt is the open-system driver state; nil for closed-loop runs.
+	openSt *openState
+
 	heapLog   []HeapSample
 	lifespans *metrics.Histogram
 	finished  bool
@@ -421,6 +450,22 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 	if cfg.GC.Concurrent && !gcPolicy.ConcurrentOld() {
 		return nil, fmt.Errorf("vm: GC.Concurrent conflicts with GC policy %q — select the %q policy instead",
 			cfg.GCPolicy, gc.PolicyConcurrent)
+	}
+	if err := cfg.Traffic.Validate(); err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
+	var arrivalProc traffic.Process
+	if cfg.Traffic.Open() {
+		if cfg.Iterations > 1 {
+			return nil, fmt.Errorf("vm: open-system traffic is incompatible with Iterations = %d — the arrival process, not the harness, governs repetition", cfg.Iterations)
+		}
+		if spec.Phases > 0 {
+			return nil, fmt.Errorf("vm: open-system traffic needs a phase-free workload, but %s has %d barrier phases", spec.Name, spec.Phases)
+		}
+		arrivalProc, err = traffic.NewProcess(cfg.Traffic.Process, cfg.Traffic)
+		if err != nil {
+			return nil, fmt.Errorf("vm: %w", err)
+		}
 	}
 	run, err := workload.NewRun(spec, cfg.Threads, cfg.Seed)
 	if err != nil {
@@ -518,6 +563,11 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 
 	v.setupLocks()
 	v.setupPhases()
+	if arrivalProc != nil {
+		// A nil process from an open-named factory (the "closed"
+		// adapter's behavior) falls through to the closed loop.
+		v.setupOpen(arrivalProc)
+	}
 	v.setupMutators()
 	v.setupHelpers()
 	v.setupCMS()
@@ -572,6 +622,7 @@ func (v *vm) setupPhases() {
 }
 
 func (v *vm) setupMutators() {
+	open := v.openSt != nil
 	v.mutators = make([]*mutator, v.cfg.Threads)
 	v.unitsAccum = make([]int64, v.cfg.Threads)
 	for i := range v.mutators {
@@ -586,18 +637,30 @@ func (v *vm) setupMutators() {
 		}
 		m.stepFn = func() { v.step(m) }
 		m.fetchFn = func() { v.fetchWork(m) }
+		if open {
+			m.state = stIdleOpen
+			m.fetchFn = func() { v.openFetch(m) }
+		}
 		m.th = v.sched.NewThread(fmt.Sprintf("worker-%d", i), sched.DefaultWeight)
 		m.th.MemoryIntensity = v.spec.MemoryIntensity
 		if v.cfg.Sched.Bias.Groups > 1 {
 			m.th.Group = i % v.cfg.Sched.Bias.Groups
 		}
 		v.mutators[i] = m
-		v.runningCount++
+		if !open {
+			v.runningCount++
+		}
 		v.aliveCount++
 	}
 	for _, m := range v.mutators {
 		v.emitTrace(trace.Event{Kind: trace.ThreadStart, Time: 0, Thread: int32(m.idx)})
-		v.sched.Submit(m.th, 0, m.fetchFn)
+		if open {
+			// Servers start parked on the idle stack; arrivals wake them.
+			v.openSt.idle = append(v.openSt.idle, m)
+			v.sched.Block(m.th)
+		} else {
+			v.sched.Submit(m.th, 0, m.fetchFn)
+		}
 	}
 }
 
@@ -696,6 +759,9 @@ func (v *vm) result() *Result {
 		res.PerThreadCPU = append(res.PerThreadCPU, m.th.CPUTime())
 		res.PerThreadReadyWait = append(res.PerThreadReadyWait, m.th.ReadyWait())
 		res.PerThreadBlocked = append(res.PerThreadBlocked, m.th.BlockedTime())
+	}
+	if v.openSt != nil {
+		res.Traffic = v.openSt.openResult(v.endTime)
 	}
 	return res
 }

@@ -169,6 +169,15 @@ type Spec struct {
 	// QueueLockHold is the dequeue cost under the work-queue lock (Queue
 	// distribution only).
 	QueueLockHold sim.Time
+	// ContentionCost is the CPU a thread burns waking from a contended
+	// slow-path park (the monitor-contended-enter probe of Figure 1b):
+	// the unpark syscall, scheduler latency, and cache refill of a real
+	// park/unpark round trip. Zero — the default everywhere — keeps lock
+	// handoff free, so all work-conserving disciplines finish together;
+	// nonzero makes the probe count a time cost, separating disciplines
+	// that avoid the slow path (restricted, spin-then-park) from those
+	// that take it on every contended acquire.
+	ContentionCost sim.Time
 
 	// Phases is the number of barrier-synchronized phases; all active
 	// threads rendezvous Phases times per run, and the paper's scalable
@@ -220,6 +229,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.SequentialFraction < 0 || s.SequentialFraction >= 1 {
 		return fmt.Errorf("workload %s: SequentialFraction = %v", s.Name, s.SequentialFraction)
+	}
+	if s.ContentionCost < 0 {
+		return fmt.Errorf("workload %s: ContentionCost = %v", s.Name, s.ContentionCost)
 	}
 	return nil
 }
@@ -379,6 +391,16 @@ func (r *Run) Take(tid int) (Unit, bool) {
 	}
 	r.unitsTaken[tid]++
 	return r.generate(tid), true
+}
+
+// TakeOpen hands thread tid a generated unit without drawing down the
+// run's unit pools — open-system mode, where the arrival process (not a
+// fixed total) governs how many units execute. Units draw from the same
+// RNG stream as Take, so a given draw sequence yields identical units
+// in both modes.
+func (r *Run) TakeOpen(tid int) Unit {
+	r.unitsTaken[tid]++
+	return r.generate(tid)
 }
 
 // clampSize bounds object sizes to a Java-plausible range.

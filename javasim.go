@@ -88,6 +88,7 @@ import (
 	"javasim/internal/sched"
 	"javasim/internal/sim"
 	"javasim/internal/trace"
+	"javasim/internal/traffic"
 	"javasim/internal/vm"
 	"javasim/internal/workload"
 )
@@ -104,6 +105,10 @@ type (
 	Spec = workload.Spec
 	// Time is virtual time in nanoseconds.
 	Time = sim.Time
+	// Rand is the deterministic simulation RNG handed to custom
+	// arrival processes; all process randomness must come from it so
+	// equal seeds reproduce equal traces.
+	Rand = sim.Rand
 )
 
 // Engine types.
@@ -171,6 +176,9 @@ type (
 	// ConfigOverrides is the serializable subset of Config a scenario may
 	// override.
 	ConfigOverrides = core.ConfigOverrides
+	// TrafficSpec switches a scenario to the open-system model: a swept
+	// offered rate feeding a fixed server pool.
+	TrafficSpec = core.TrafficSpec
 	// WorkloadRef references a workload by registered name or inline Spec.
 	WorkloadRef = workload.Ref
 )
@@ -182,6 +190,7 @@ const (
 	OutputFactors        = core.OutputFactors
 	OutputLifespanCDF    = core.OutputLifespanCDF
 	OutputReplication    = core.OutputReplication
+	OutputGoodput        = core.OutputGoodput
 )
 
 // Cross-scenario report kinds.
@@ -193,6 +202,7 @@ const (
 	ReportWorkDistribution = core.ReportWorkDistribution
 	ReportFactors          = core.ReportFactors
 	ReportCompare          = core.ReportCompare
+	ReportGoodput          = core.ReportGoodput
 )
 
 // Series metrics.
@@ -450,6 +460,62 @@ func ParallelGCPolicy(alpha float64, syncTax Time) GCPolicy { return gc.StwParal
 // thread-group count (the built-in "compartment" defaults to one group
 // per NUMA socket the enabled cores span).
 func CompartmentGCPolicy(groups int) GCPolicy { return gc.Compartment(groups) }
+
+// Open-system traffic types. Setting Config.Traffic (or a scenario's
+// TrafficSpec) switches a run from the paper's closed loop — a fixed
+// thread pool looping over the workload — to an open system: requests
+// arrive from a seeded generator process, queue for the server pool, and
+// each carries an arrival-to-completion latency. The Result then carries
+// TrafficStats with the latency and queue-wait distributions, timeout
+// accounting, and queue-depth trajectory — the goodput-under-overload
+// measurements closed loops cannot express.
+type (
+	// TrafficConfig configures a run's arrival process; the zero value
+	// (or Process "closed") keeps the closed-loop model.
+	TrafficConfig = traffic.Config
+	// ArrivalProcess generates successive inter-arrival gaps on the
+	// virtual-time axis.
+	ArrivalProcess = traffic.Process
+	// ArrivalFactory builds an ArrivalProcess from a canonicalized
+	// TrafficConfig. Returning a nil Process (and nil error) selects the
+	// closed-loop model.
+	ArrivalFactory = traffic.Factory
+	// TrafficStats is the open-system measurement record of one run.
+	TrafficStats = traffic.Stats
+	// QueueSample is one decimated point of the queue-depth trajectory.
+	QueueSample = traffic.QueueSample
+)
+
+// Registry names of the built-in arrival processes.
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps — the
+	// memoryless open-system baseline.
+	ArrivalPoisson = traffic.ProcessPoisson
+	// ArrivalBursty modulates a Poisson process with MMPP-style on/off
+	// phases: bursts at BurstFactor times the mean rate, separated by
+	// quiet stretches that preserve the long-run mean.
+	ArrivalBursty = traffic.ProcessBursty
+	// ArrivalDiurnal modulates the rate sinusoidally around the mean —
+	// the load-follows-the-sun shape, compressed to simulation scale.
+	ArrivalDiurnal = traffic.ProcessDiurnal
+	// ArrivalClosed names the closed-loop adapter: selecting it runs the
+	// paper's fixed-thread-pool model unchanged.
+	ArrivalClosed = traffic.ProcessClosed
+)
+
+// RegisterArrivalProcess adds an arrival-process factory to the traffic
+// registry, making it selectable by name through Config.Traffic.Process,
+// plan Traffic blocks, and cmd/javasim -arrival. The factory must return
+// a fresh instance per call (processes hold per-run state); names are
+// unique and registering an existing one — including the built-ins — is
+// an error.
+func RegisterArrivalProcess(name string, factory ArrivalFactory) error {
+	return traffic.Register(name, factory)
+}
+
+// ArrivalProcessNames returns every registered arrival-process name in
+// registration order: the built-ins, then user registrations.
+func ArrivalProcessNames() []string { return traffic.Names() }
 
 // Virtual-time units, for policy budgets and config durations.
 const (
