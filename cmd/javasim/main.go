@@ -39,6 +39,7 @@ func main() {
 		list         = flag.Bool("list", false, "list the workload registry and exit")
 		parallel     = flag.Int("parallel", 0, "with -plan: max concurrent simulations (0 = GOMAXPROCS)")
 		progress     = flag.Bool("progress", false, "with -plan: stream engine progress events to stderr")
+		storeDir     = flag.String("store", "", "with -plan: back the result cache with this content-addressed store directory")
 		threads      = flag.Int("threads", 4, "mutator threads (cores = threads, per the paper)")
 		cores        = flag.Int("cores", 0, "enabled cores; 0 means cores = threads")
 		heapFactor   = flag.Float64("heap-factor", 3, "heap size as a multiple of the minimum heap")
@@ -66,7 +67,7 @@ func main() {
 		return
 	}
 	if *planFile != "" {
-		runPlan(*planFile, *parallel, *progress)
+		runPlan(*planFile, *parallel, *progress, *storeDir)
 		return
 	}
 
@@ -234,8 +235,11 @@ func listWorkloads() {
 }
 
 // runPlan executes a declarative scenario plan file through an engine and
-// prints every rendered table.
-func runPlan(path string, parallel int, progress bool) {
+// prints every rendered table. With storeDir, the engine's result cache
+// reads through to (and writes through to) the content-addressed disk
+// store, so a plan already run by any process sharing the store — an
+// earlier invocation, a javasimd daemon — simulates nothing.
+func runPlan(path string, parallel int, progress bool, storeDir string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatalf("open plan: %v", err)
@@ -255,6 +259,18 @@ func runPlan(path string, parallel int, progress bool) {
 			fmt.Fprintf(os.Stderr, "javasim: %v\n", ev)
 		})))
 	}
+	if storeDir != "" {
+		st, err := javasim.OpenStore(storeDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fatalf("store: %v", err)
+			}
+		}()
+		opts = append(opts, javasim.WithDiskCache(st))
+	}
 	eng := javasim.NewEngine(opts...)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -272,9 +288,9 @@ func runPlan(path string, parallel int, progress bool) {
 		}
 	}
 	if progress {
-		st := eng.Stats()
-		fmt.Fprintf(os.Stderr, "javasim: %d simulations, %d cache hits, %d memoized\n",
-			st.Simulations, st.CacheHits, st.CachedResults)
+		cs := eng.CacheStats()
+		fmt.Fprintf(os.Stderr, "javasim: %d simulations, %d memory hits, %d disk hits, %d shared in flight, %d disk writes, %d memoized\n",
+			cs.Misses, cs.MemoryHits, cs.DiskHits, cs.Shared, cs.DiskWrites, cs.Entries)
 	}
 }
 

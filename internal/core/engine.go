@@ -28,13 +28,18 @@ type Engine struct {
 	seed        uint64
 	cacheSize   int
 	observers   []Observer
+	store       ResultStore
+	runner      Runner
 
 	sem     chan struct{} // worker-slot semaphore, capacity = parallelism
 	cache   *resultCache
 	flights flightGroup
 
 	simulations atomic.Int64
-	cacheHits   atomic.Int64
+	memoryHits  atomic.Int64
+	diskHits    atomic.Int64
+	shared      atomic.Int64
+	diskWrites  atomic.Int64
 }
 
 // Option configures an Engine at construction time.
@@ -76,6 +81,46 @@ func WithCache(entries int) Option {
 // not given.
 const DefaultCacheEntries = 256
 
+// ResultStore is a persistent second cache tier behind the in-memory
+// LRU, keyed by Fingerprint hashes. Implementations must be safe for
+// concurrent use and must treat stored results as immutable. Get
+// returning false means "not present" — a store is a cache, so it may
+// drop or fail to persist entries, but it must never return a wrong or
+// partially-decoded result (see javasim/internal/store for the
+// content-addressed on-disk implementation).
+type ResultStore interface {
+	Get(fingerprint string) (*vm.Result, bool)
+	Put(fingerprint string, res *vm.Result)
+}
+
+// WithDiskStore backs the engine's result cache with a persistent
+// store: cache misses read through to it before simulating, and every
+// completed cacheable simulation is written through, so no fingerprint
+// the store has ever seen is simulated twice — across engines,
+// processes, or restarts.
+func WithDiskStore(s ResultStore) Option {
+	return func(e *Engine) { e.store = s }
+}
+
+// Runner executes one simulation. The engine's default runner is
+// vm.RunContext; WithRunner substitutes a different execution substrate
+// — e.g. the serving daemon's worker-process pool, which shards sweep
+// points across child processes by fingerprint.
+type Runner func(ctx context.Context, spec workload.Spec, cfg vm.Config) (*vm.Result, error)
+
+// WithRunner replaces the engine's simulation executor. The runner is
+// invoked under the engine's parallelism bound and its results flow
+// into the memoizing cache and the disk store exactly as local runs do;
+// it must be deterministic for equal (spec, canonical config, seed)
+// inputs or cached results will diverge from fresh ones.
+func WithRunner(r Runner) Option {
+	return func(e *Engine) {
+		if r != nil {
+			e.runner = r
+		}
+	}
+}
+
 // NewEngine builds an engine from the options.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
@@ -87,6 +132,9 @@ func NewEngine(opts ...Option) *Engine {
 	}
 	if e.parallelism < 1 {
 		e.parallelism = 1
+	}
+	if e.runner == nil {
+		e.runner = vm.RunContext
 	}
 	e.sem = make(chan struct{}, e.parallelism)
 	e.cache = newResultCache(e.cacheSize)
@@ -123,14 +171,55 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	return Stats{
 		Simulations:   e.simulations.Load(),
-		CacheHits:     e.cacheHits.Load(),
+		CacheHits:     e.memoryHits.Load() + e.diskHits.Load() + e.shared.Load(),
 		CachedResults: e.cache.len(),
 	}
 }
 
-// emit delivers ev to every observer, in registration order.
-func (e *Engine) emit(ev Event) {
+// CacheStats breaks the engine's cache behavior down by tier: where
+// each run request was answered from, how many were deduplicated
+// in-flight, and how many fell all the way through to a simulation.
+type CacheStats struct {
+	// MemoryHits counts requests answered from the in-memory LRU.
+	MemoryHits int64
+	// DiskHits counts requests answered from the disk store (the result
+	// is promoted into the LRU on the way).
+	DiskHits int64
+	// Shared counts singleflight deduplications: requests that arrived
+	// while an identical run was in flight and shared its result
+	// instead of simulating.
+	Shared int64
+	// Misses counts requests that dispatched a simulation — the only
+	// path that consumes a worker slot for a cacheable run.
+	Misses int64
+	// DiskWrites counts results written through to the disk store.
+	DiskWrites int64
+	// Entries is the number of results currently memoized in memory.
+	Entries int
+}
+
+// CacheStats returns the per-tier cache counters. A plan POSTed twice
+// to a daemon (even across restarts, given a disk store) shows
+// Misses == 0 on its second submission.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{
+		MemoryHits: e.memoryHits.Load(),
+		DiskHits:   e.diskHits.Load(),
+		Shared:     e.shared.Load(),
+		Misses:     e.simulations.Load(),
+		DiskWrites: e.diskWrites.Load(),
+		Entries:    e.cache.len(),
+	}
+}
+
+// emit delivers ev to every engine observer in registration order, then
+// to the context-scoped observer, if the work was dispatched under one
+// (see ContextWithObserver).
+func (e *Engine) emit(ctx context.Context, ev Event) {
 	for _, o := range e.observers {
+		o.Observe(ev)
+	}
+	if o := contextObserver(ctx); o != nil {
 		o.Observe(ev)
 	}
 }
@@ -157,14 +246,14 @@ func (e *Engine) Run(ctx context.Context, spec workload.Spec, cfg vm.Config) (*v
 	if !cacheable {
 		return e.simulate(ctx, spec, cfg)
 	}
-	hit := func(res *vm.Result) *vm.Result {
-		e.cacheHits.Add(1)
-		e.emit(Event{Kind: RunCached, Workload: spec.Name, Threads: cfg.Canonical().Threads, Seed: cfg.Seed})
+	hit := func(res *vm.Result, tier *atomic.Int64) *vm.Result {
+		tier.Add(1)
+		e.emit(ctx, Event{Kind: RunCached, Workload: spec.Name, Threads: cfg.Canonical().Threads, Seed: cfg.Seed})
 		return res
 	}
 	for {
 		if res, ok := e.cache.get(key); ok {
-			return hit(res), nil
+			return hit(res, &e.memoryHits), nil
 		}
 		fl, leader := e.flights.join(key)
 		if leader {
@@ -173,11 +262,24 @@ func (e *Engine) Run(ctx context.Context, spec workload.Spec, cfg vm.Config) (*v
 			// join, and re-simulating a cached run would waste a slot.
 			if res, ok := e.cache.get(key); ok {
 				e.flights.leave(key, fl, res, nil)
-				return hit(res), nil
+				return hit(res, &e.memoryHits), nil
+			}
+			// Second tier: the disk store. Only the flight leader reads
+			// it, so a popular fingerprint costs one read, not a herd.
+			if e.store != nil {
+				if res, ok := e.store.Get(key); ok {
+					e.cache.put(key, res)
+					e.flights.leave(key, fl, res, nil)
+					return hit(res, &e.diskHits), nil
+				}
 			}
 			res, err := e.simulate(ctx, spec, cfg)
 			if err == nil {
 				e.cache.put(key, res)
+				if e.store != nil {
+					e.store.Put(key, res)
+					e.diskWrites.Add(1)
+				}
 			}
 			e.flights.leave(key, fl, res, err)
 			return res, err
@@ -188,7 +290,7 @@ func (e *Engine) Run(ctx context.Context, spec workload.Spec, cfg vm.Config) (*v
 			return nil, ctx.Err()
 		}
 		if fl.err == nil {
-			return hit(fl.res), nil
+			return hit(fl.res, &e.shared), nil
 		}
 		// The leader failed. If its failure was its own context dying, our
 		// context may still be live — retry (we will likely become the new
@@ -212,14 +314,14 @@ func (e *Engine) simulate(ctx context.Context, spec workload.Spec, cfg vm.Config
 		return nil, err
 	}
 	threads := cfg.Canonical().Threads
-	e.emit(Event{Kind: RunStarted, Workload: spec.Name, Threads: threads, Seed: cfg.Seed})
+	e.emit(ctx, Event{Kind: RunStarted, Workload: spec.Name, Threads: threads, Seed: cfg.Seed})
 	e.simulations.Add(1)
-	res, err := vm.RunContext(ctx, spec, cfg)
+	res, err := e.runner(ctx, spec, cfg)
 	fin := Event{Kind: RunFinished, Workload: spec.Name, Threads: threads, Seed: cfg.Seed, Err: err}
 	if res != nil {
 		fin.VirtualTime = res.TotalTime
 	}
-	e.emit(fin)
+	e.emit(ctx, fin)
 	return res, err
 }
 
@@ -260,7 +362,7 @@ func (e *Engine) Sweep(ctx context.Context, spec workload.Spec, cfg SweepConfig)
 		vcfg.Cores = 0 // paper methodology: cores = threads
 		results[i], errs[i] = e.Run(ctx, spec, vcfg)
 		if errs[i] == nil {
-			e.emit(Event{Kind: SweepPointDone, Workload: spec.Name, Threads: vcfg.Threads, Seed: vcfg.Seed})
+			e.emit(ctx, Event{Kind: SweepPointDone, Workload: spec.Name, Threads: vcfg.Threads, Seed: vcfg.Seed})
 		}
 	}
 	if cfg.Base.TraceSink != nil || cfg.Base.LockProfiler != nil {
@@ -310,7 +412,7 @@ func (e *Engine) Sweep(ctx context.Context, spec workload.Spec, cfg SweepConfig)
 			s.Points = append(s.Points, Point{Threads: c, Result: results[i]})
 		}
 	}
-	e.emit(Event{Kind: SweepDone, Workload: spec.Name, Seed: cfg.Base.Seed})
+	e.emit(ctx, Event{Kind: SweepDone, Workload: spec.Name, Seed: cfg.Base.Seed})
 	return s, nil
 }
 

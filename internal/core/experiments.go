@@ -143,9 +143,9 @@ func (s *Suite) runSweep(ctx context.Context, name string) (*Sweep, error) {
 
 // artifact emits the rendered-artifact event on success and passes the
 // generator's result through.
-func (s *Suite) artifact(name string, t *report.Table, err error) (*report.Table, error) {
+func (s *Suite) artifact(ctx context.Context, name string, t *report.Table, err error) (*report.Table, error) {
 	if err == nil {
-		s.eng.emit(Event{Kind: ArtifactRendered, Artifact: name})
+		s.eng.emit(ctx, Event{Kind: ArtifactRendered, Artifact: name})
 	}
 	return t, err
 }
@@ -183,7 +183,7 @@ func (s *Suite) Fig1a(ctx context.Context) (*report.Table, error) {
 		return nil, err
 	}
 	t.Note = "paper: acquisitions grow with threads for scalable apps, flat for non-scalable"
-	return s.artifact("Fig1a", t, nil)
+	return s.artifact(ctx, "Fig1a", t, nil)
 }
 
 // Fig1b reproduces Figure 1b: lock contention instances versus threads.
@@ -193,7 +193,7 @@ func (s *Suite) Fig1b(ctx context.Context) (*report.Table, error) {
 		return nil, err
 	}
 	t.Note = "paper: contentions grow with threads for scalable apps, flat for non-scalable"
-	return s.artifact("Fig1b", t, nil)
+	return s.artifact(ctx, "Fig1b", t, nil)
 }
 
 // cdfLimits are the lifespan bucket boundaries (bytes) used for the
@@ -220,7 +220,7 @@ func (s *Suite) Fig1c(ctx context.Context) (*report.Table, error) {
 	}
 	t.Title = "Figure 1c — " + t.Title
 	t.Note = "paper: eclipse's distribution shows almost no change with thread count"
-	return s.artifact("Fig1c", t, nil)
+	return s.artifact(ctx, "Fig1c", t, nil)
 }
 
 // Fig1d reproduces Figure 1d: xalan's lifetime CDF at 4 vs 48 threads
@@ -233,7 +233,7 @@ func (s *Suite) Fig1d(ctx context.Context) (*report.Table, error) {
 	}
 	t.Title = "Figure 1d — " + t.Title
 	t.Note = "paper: xalan drops from >80% of objects <1KB at 4 threads to ~50% at 48"
-	return s.artifact("Fig1d", t, nil)
+	return s.artifact(ctx, "Fig1d", t, nil)
 }
 
 func (s *Suite) loHi() (int, int) {
@@ -261,7 +261,7 @@ func (s *Suite) Fig2(ctx context.Context) (*report.Table, error) {
 		"Figure 2 — distribution of mutator and GC times (scalable applications)",
 		"paper: mutator time keeps falling through 48 threads while GC time grows",
 		labels, sweeps)
-	return s.artifact("Fig2", t, nil)
+	return s.artifact(ctx, "Fig2", t, nil)
 }
 
 // Fig2Chart renders Figure 2 as an ASCII chart: per scalable workload,
@@ -319,7 +319,7 @@ func (s *Suite) ClassificationTable(ctx context.Context) (*report.Table, error) 
 	if err != nil {
 		return nil, err
 	}
-	return s.artifact("ClassificationTable", renderClassification(labels, sweeps), nil)
+	return s.artifact(ctx, "ClassificationTable", renderClassification(labels, sweeps), nil)
 }
 
 // WorkDistributionTable reproduces the §III workload-distribution
@@ -329,7 +329,7 @@ func (s *Suite) WorkDistributionTable(ctx context.Context) (*report.Table, error
 	if err != nil {
 		return nil, err
 	}
-	return s.artifact("WorkDistributionTable", renderWorkDistribution(labels, sweeps), nil)
+	return s.artifact(ctx, "WorkDistributionTable", renderWorkDistribution(labels, sweeps), nil)
 }
 
 func imbalance(shares []float64) float64 {
@@ -353,7 +353,7 @@ func (s *Suite) FactorsTable(ctx context.Context) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.artifact("FactorsTable", renderFactors(labels, sweeps), nil)
+	return s.artifact(ctx, "FactorsTable", renderFactors(labels, sweeps), nil)
 }
 
 // AblationBias evaluates the paper's first future-work proposal (§IV):
@@ -366,7 +366,7 @@ func (s *Suite) AblationBias(ctx context.Context) (*report.Table, error) {
 			cfg.Sched.Bias.PhaseLength = 2 * sim.Millisecond
 		},
 		"paper hypothesis: staggering threads shortens lifespans and cuts contention at some throughput cost")
-	return s.artifact("AblationBias", t, err)
+	return s.artifact(ctx, "AblationBias", t, err)
 }
 
 // AblationCompartments evaluates the paper's second future-work proposal
@@ -376,7 +376,7 @@ func (s *Suite) AblationCompartments(ctx context.Context) (*report.Table, error)
 	t, err := s.ablation(ctx, "Ablation — compartmentalized heap (paper §IV, suggestion 2)",
 		func(cfg *vm.Config) { cfg.Compartments = 4 },
 		"paper hypothesis: per-group heap compartments shorten GC pause times")
-	return s.artifact("AblationCompartments", t, err)
+	return s.artifact(ctx, "AblationCompartments", t, err)
 }
 
 func (s *Suite) ablation(ctx context.Context, title string, modify func(*vm.Config), note string) (*report.Table, error) {

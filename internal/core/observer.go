@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"javasim/internal/sim"
@@ -116,3 +117,28 @@ type ObserverFunc func(Event)
 
 // Observe calls f(ev).
 func (f ObserverFunc) Observe(ev Event) { f(ev) }
+
+// observerCtxKey keys the context-scoped observer.
+type observerCtxKey struct{}
+
+// ContextWithObserver returns a context that routes every engine event
+// produced by work dispatched under it to o, in addition to the
+// engine's own observers. This is how a server multiplexing many
+// concurrent plans over one shared engine attributes progress to the
+// right client: each plan runs under its own observer-carrying context,
+// and cache hits are reported to whichever plan requested them, even
+// when the simulation that populated the cache belonged to another.
+// The same concurrency contract as WithObserver applies.
+func ContextWithObserver(ctx context.Context, o Observer) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, observerCtxKey{}, o)
+}
+
+// contextObserver extracts the observer attached by ContextWithObserver,
+// or nil.
+func contextObserver(ctx context.Context) Observer {
+	o, _ := ctx.Value(observerCtxKey{}).(Observer)
+	return o
+}

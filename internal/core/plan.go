@@ -930,9 +930,9 @@ func (e *Engine) RunPlan(ctx context.Context, p *Plan) (*PlanResult, error) {
 			return nil, err
 		}
 		pr.Reports = append(pr.Reports, t)
-		e.emit(Event{Kind: ArtifactRendered, Artifact: rs.Name})
+		e.emit(ctx, Event{Kind: ArtifactRendered, Artifact: rs.Name})
 	}
-	e.emit(Event{Kind: PlanDone, Plan: p.Name})
+	e.emit(ctx, Event{Kind: PlanDone, Plan: p.Name})
 	return pr, nil
 }
 
@@ -975,7 +975,7 @@ func (e *Engine) runScenario(ctx context.Context, p *Plan, sc *Scenario) (*Scena
 		}
 		res.Tables = append(res.Tables, t)
 	}
-	e.emit(Event{Kind: ScenarioDone, Scenario: sc.Name, Workload: spec.Name, Seed: seed})
+	e.emit(ctx, Event{Kind: ScenarioDone, Scenario: sc.Name, Workload: spec.Name, Seed: seed})
 	return res, nil
 }
 

@@ -58,7 +58,7 @@ func (s *Suite) StudyHeapFactor(ctx context.Context) (*report.Table, error) {
 			fmt.Sprintf("%d", res.GCStats.FullCount),
 			fmt.Sprintf("%.2f", float64(res.GCStats.PromotedBytes)/(1<<20)))
 	}
-	return s.artifact("StudyHeapFactor", t, nil)
+	return s.artifact(ctx, "StudyHeapFactor", t, nil)
 }
 
 // StudyGCWorkers sweeps the parallel GC thread count, validating the
@@ -84,7 +84,7 @@ func (s *Suite) StudyGCWorkers(ctx context.Context) (*report.Table, error) {
 		t.AddRow(fmt.Sprintf("%d", w), res.GCTime.String(),
 			meanPause(res.GCPauses).String(), maxPause(res.GCPauses).String())
 	}
-	return s.artifact("StudyGCWorkers", t, nil)
+	return s.artifact(ctx, "StudyGCWorkers", t, nil)
 }
 
 // StudyTenuring sweeps the tenuring threshold: promote-early floods the
@@ -112,7 +112,7 @@ func (s *Suite) StudyTenuring(ctx context.Context) (*report.Table, error) {
 			fmt.Sprintf("%.2f", float64(res.GCStats.PromotedBytes)/(1<<20)),
 			fmt.Sprintf("%d", res.GCStats.FullCount))
 	}
-	return s.artifact("StudyTenuring", t, nil)
+	return s.artifact(ctx, "StudyTenuring", t, nil)
 }
 
 // StudyNUMA contrasts the NUMA machine against a hypothetical flat
@@ -143,7 +143,7 @@ func (s *Suite) StudyNUMA(ctx context.Context) (*report.Table, error) {
 		}
 		t.AddRow(m.name, res.TotalTime.String(), res.MutatorTime.String(), res.GCTime.String())
 	}
-	return s.artifact("StudyNUMA", t, nil)
+	return s.artifact(ctx, "StudyNUMA", t, nil)
 }
 
 // StudyCollector contrasts the paper's stop-the-world throughput
@@ -186,7 +186,7 @@ func (s *Suite) StudyCollector(ctx context.Context) (*report.Table, error) {
 			fmt.Sprintf("%d", res.ConcCycles),
 			res.ConcGCCPUTime.String())
 	}
-	return s.artifact("StudyCollector", t, nil)
+	return s.artifact(ctx, "StudyCollector", t, nil)
 }
 
 // StudyPretenuring evaluates allocation-site pretenuring — the classic
@@ -231,7 +231,7 @@ func (s *Suite) StudyPretenuring(ctx context.Context) (*report.Table, error) {
 			fmt.Sprintf("%d", res.GCStats.FullCount),
 			fmt.Sprintf("%d", res.HeapStats.PretenuredAllocs))
 	}
-	return s.artifact("StudyPretenuring", t, nil)
+	return s.artifact(ctx, "StudyPretenuring", t, nil)
 }
 
 // StudyReplication reruns the headline configuration under several seeds
@@ -271,7 +271,7 @@ func (s *Suite) StudyReplication(ctx context.Context) (*report.Table, error) {
 	row("gc time", "ms", gcs)
 	row("objects <1KB", "%", cdfs)
 	row("lock contentions", "", conts)
-	return s.artifact("StudyReplication", t, nil)
+	return s.artifact(ctx, "StudyReplication", t, nil)
 }
 
 // AllStudies regenerates the design-choice study tables.

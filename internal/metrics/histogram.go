@@ -8,6 +8,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/bits"
@@ -185,6 +186,62 @@ func (h *Histogram) Buckets() []Bucket {
 type Bucket struct {
 	UpperBound int64
 	Count      int64
+}
+
+// histogramJSON is the wire form of a Histogram: every internal field,
+// with the count array stored sparsely as (bucket, count) pairs. It
+// exists so results carrying histograms can cross process boundaries
+// (the on-disk result store, sweep-shard workers) and come back
+// DeepEqual to the original.
+type histogramJSON struct {
+	Name    string        `json:",omitempty"`
+	Buckets []bucketCount `json:",omitempty"`
+	Total   int64         `json:",omitempty"`
+	Sum     int64         `json:",omitempty"`
+	Min     int64         `json:",omitempty"`
+	Max     int64         `json:",omitempty"`
+	HasData bool          `json:",omitempty"`
+}
+
+// bucketCount is one non-empty bucket on the wire: count N in bucket I.
+type bucketCount struct {
+	I int
+	N int64
+}
+
+// MarshalJSON encodes the histogram's full internal state, so a
+// marshal/unmarshal round trip reproduces it exactly (reflect.DeepEqual).
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	w := histogramJSON{
+		Name: h.name, Total: h.total, Sum: h.sum,
+		Min: h.min, Max: h.max, HasData: h.hasData,
+	}
+	for i, c := range h.counts {
+		if c != 0 {
+			w.Buckets = append(w.Buckets, bucketCount{I: i, N: c})
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores a histogram encoded by MarshalJSON, replacing
+// the receiver's state. Bucket indexes outside the fixed range are
+// rejected rather than silently dropped, so a corrupted store entry
+// surfaces as a decode error (which readers treat as a cache miss).
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*h = Histogram{name: w.Name, total: w.Total, sum: w.Sum,
+		min: w.Min, max: w.Max, hasData: w.HasData}
+	for _, b := range w.Buckets {
+		if b.I < 0 || b.I >= len(h.counts) {
+			return fmt.Errorf("metrics: histogram bucket index %d out of range", b.I)
+		}
+		h.counts[b.I] = b.N
+	}
+	return nil
 }
 
 // Merge adds every sample of other into h.

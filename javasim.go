@@ -87,6 +87,7 @@ import (
 	"javasim/internal/report"
 	"javasim/internal/sched"
 	"javasim/internal/sim"
+	"javasim/internal/store"
 	"javasim/internal/trace"
 	"javasim/internal/traffic"
 	"javasim/internal/vm"
@@ -130,6 +131,22 @@ type (
 	Event = core.Event
 	// EventKind classifies a progress event.
 	EventKind = core.EventKind
+	// CacheStats breaks the engine's cache behavior down by tier:
+	// memory hits, disk hits, singleflight shares, and misses.
+	CacheStats = core.CacheStats
+	// ResultStore is the persistent second cache tier behind the
+	// engine's in-memory LRU, keyed by Fingerprint hashes.
+	ResultStore = core.ResultStore
+	// Store is the content-addressed on-disk ResultStore (one JSON entry
+	// per fingerprint, written atomically, corrupt entries read as
+	// misses). Open with OpenStore, attach with WithDiskCache, and Close
+	// it on shutdown to drain pending writes.
+	Store = store.Store
+	// StoreStats is a snapshot of a Store's hit/miss/corruption counters.
+	StoreStats = store.Stats
+	// Runner executes one simulation on behalf of an engine; see
+	// WithRunner.
+	Runner = core.Runner
 )
 
 // Progress event kinds streamed to observers.
@@ -281,6 +298,39 @@ func WithObserver(o Observer) Option { return core.WithObserver(o) }
 // WithCache sizes the engine's memoizing result cache in entries; zero or
 // negative disables memoization.
 func WithCache(entries int) Option { return core.WithCache(entries) }
+
+// WithDiskCache backs the engine's in-memory result cache with a
+// persistent store: misses read through to it before simulating, and
+// every completed cacheable simulation is written through, so no
+// fingerprint the store has ever seen is simulated twice — across
+// engines, processes, or restarts. Typically an OpenStore Store; any
+// ResultStore implementation works.
+func WithDiskCache(s ResultStore) Option { return core.WithDiskStore(s) }
+
+// WithRunner replaces the engine's simulation executor (default
+// vm.RunContext run in-process). The serving daemon uses this to shard
+// simulations across worker processes. Runners must be deterministic
+// for equal (spec, canonical config) inputs.
+func WithRunner(r Runner) Option { return core.WithRunner(r) }
+
+// OpenStore creates (if needed) and opens the content-addressed on-disk
+// result store rooted at dir. Close it to drain pending writes.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// Fingerprint returns the content hash identifying one (spec,
+// canonical config) run everywhere results are shared — the in-memory
+// cache, the disk store, and the serving daemon's shard protocol. The
+// second return is false for runs that cannot be cached (those carrying
+// a TraceSink or LockProfiler).
+func Fingerprint(spec Spec, cfg Config) (string, bool) { return core.Fingerprint(spec, cfg) }
+
+// ContextWithObserver returns a context that routes every engine event
+// produced by work dispatched under it to o, in addition to the
+// engine's own observers — how a server multiplexing many concurrent
+// plans over one shared engine attributes progress to the right client.
+func ContextWithObserver(ctx context.Context, o Observer) context.Context {
+	return core.ContextWithObserver(ctx, o)
+}
 
 // Run executes one benchmark configuration on the shared default engine.
 // Unlike earlier releases, which simulated afresh on every call, the
