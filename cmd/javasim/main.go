@@ -9,7 +9,8 @@
 //	javasim -workload xalan -threads 16 [-heap-factor 3] [-seed 42]
 //	        [-scale 1.0] [-compartments 4] [-bias-groups 2]
 //	        [-lock-policy restricted] [-placement round-robin]
-//	        [-gc-policy concurrent] [-trace out.trace] [-lockprof] [-v]
+//	        [-gc-policy concurrent] [-machine sparc-t3-4]
+//	        [-trace out.trace] [-lockprof] [-v]
 //	javasim -workload server -arrival poisson -rate 200000 -threads 16
 //	        [-requests 4000] [-timeout 5ms]
 //	javasim -plan plan.json [-parallel 8] [-progress]
@@ -56,6 +57,7 @@ func main() {
 		lockPolicy   = flag.String("lock-policy", "", "contended-monitor discipline: "+strings.Join(javasim.LockPolicyNames(), ", ")+" (default fifo)")
 		placement    = flag.String("placement", "", "run-queue placement: "+strings.Join(javasim.PlacementNames(), ", ")+" (default affinity)")
 		gcPolicy     = flag.String("gc-policy", "", "collection discipline: "+strings.Join(javasim.GCPolicyNames(), ", ")+" (default stw-serial)")
+		machineName  = flag.String("machine", "", "hardware model: "+strings.Join(javasim.MachineNames(), ", ")+" (default opteron-6168)")
 		traceOut     = flag.String("trace", "", "write an Elephant-Tracks-style binary trace to this file")
 		lockprofFlag = flag.Bool("lockprof", false, "print the DTrace-style lock profile")
 		verbose      = flag.Bool("v", false, "print per-thread detail")
@@ -109,6 +111,7 @@ func main() {
 		Iterations:   *iterations,
 		LockPolicy:   *lockPolicy,
 		GCPolicy:     *gcPolicy,
+		MachineName:  *machineName,
 	}
 	cfg.Sched.Placement = *placement
 	if *arrival != "" && *arrival != javasim.ArrivalClosed {
@@ -157,6 +160,9 @@ func main() {
 	fmt.Printf("workload      %s (scale %.2f)\n", res.Workload, *scale)
 	fmt.Printf("threads/cores %d/%d\n", res.Threads, res.Cores)
 	fmt.Printf("policies      lock=%s placement=%s gc=%s\n", res.LockPolicy, res.Placement, res.GCPolicy)
+	if res.Machine != "" && res.Machine != javasim.MachineOpteron6168 {
+		fmt.Printf("machine       %s\n", res.Machine)
+	}
 	fmt.Printf("total time    %v\n", res.TotalTime)
 	fmt.Printf("mutator time  %v\n", res.MutatorTime)
 	fmt.Printf("gc time       %v (%.1f%%, safepoints %v)\n", res.GCTime, 100*res.GCShare(), res.SafepointTime)
@@ -170,6 +176,10 @@ func main() {
 	fmt.Printf("lifespans     %.1f%% < 1KB, mean %.0f B\n",
 		100*res.Lifespans.FractionBelow(1024), res.Lifespans.Mean())
 	fmt.Printf("utilization   %.2f\n", res.Utilization)
+	if res.MemTraffic > 0 {
+		fmt.Printf("mem traffic   %.1f MB billed, %v stalled on channel backlog\n",
+			float64(res.MemTraffic)/(1<<20), res.MemBWStall)
+	}
 	if st := res.Traffic; st != nil {
 		fmt.Printf("traffic       %s at %.0f req/s offered\n", st.Process, st.RatePerSec)
 		fmt.Printf("requests      %d offered, %d completed, %d timed out\n",

@@ -6,6 +6,10 @@
 // client has ever submitted is simulated twice — across requests,
 // daemons, or restarts. With -workers, sweep points are sharded across
 // child worker processes (the daemon re-executes itself with -worker).
+// Submitted plans may target any registered machine model (the plan's
+// Machine field or a per-scenario override); unknown model names are
+// rejected at plan load, before any simulation runs, and the selected
+// model is part of every result's cache fingerprint.
 //
 // Usage:
 //

@@ -223,3 +223,27 @@ func ExampleRegisterArrivalProcess() {
 type fixedGap struct{ gap javasim.Time }
 
 func (p fixedGap) Next(now javasim.Time, rng *javasim.Rand) javasim.Time { return p.gap }
+
+// ExampleRegisterMachine registers a custom hardware model — a
+// single-socket desktop — and runs a workload on it by name. The
+// compiled version of the "Custom machine models" guide in
+// docs/extending.md.
+func ExampleRegisterMachine() {
+	tolerateDup(javasim.RegisterMachine(javasim.NewMachineModel("docs-desktop", javasim.MachineConfig{
+		Sockets:        1,
+		CoresPerSocket: 8,
+		MemoryPerNode:  32 << 30,
+		LocalAccess:    70,
+		MigrationCost:  3000,
+	})))
+	eng := javasim.NewEngine()
+	spec, _ := javasim.LookupWorkload("xalan")
+	res, err := eng.Run(context.Background(), spec.Scale(0.05), javasim.Config{
+		Threads: 16, Seed: 42, MachineName: "docs-desktop",
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d threads on %d cores\n", res.Machine, res.Threads, res.Cores)
+	// Output: docs-desktop: 16 threads on 8 cores
+}

@@ -220,6 +220,11 @@ type Factors struct {
 	// fraction of total CPU demand at the last point — the suspension
 	// pressure the paper ties to lifespan stretching.
 	ReadyWaitShare float64
+	// BandwidthShare is aggregate memory-channel stall across all threads
+	// as a fraction of aggregate thread-time (threads x total time) at the
+	// largest thread count — the bandwidth-saturation term. Zero on
+	// machines without a SocketBandwidth ceiling.
+	BandwidthShare float64
 }
 
 // ComputeFactors derives the factor decomposition from the sweep.
@@ -250,6 +255,9 @@ func (s *Sweep) ComputeFactors() Factors {
 	}
 	if cpu+wait > 0 {
 		f.ReadyWaitShare = float64(wait) / float64(cpu+wait)
+	}
+	if last.TotalTime > 0 && last.Threads > 0 {
+		f.BandwidthShare = float64(last.MemBWStall) / (float64(last.TotalTime) * float64(last.Threads))
 	}
 	return f
 }

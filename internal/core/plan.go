@@ -10,6 +10,7 @@ import (
 
 	"javasim/internal/gc"
 	"javasim/internal/locks"
+	"javasim/internal/machine"
 	"javasim/internal/report"
 	"javasim/internal/sched"
 	"javasim/internal/sim"
@@ -97,6 +98,11 @@ type ConfigOverrides struct {
 	// (HotSpot defaults 2 and 8) — the heap-sizing ablation knobs.
 	NewRatio      int `json:",omitempty"`
 	SurvivorRatio int `json:",omitempty"`
+	// Machine selects the hardware model by machine registry name
+	// ("opteron-6168", "sparc-t3-4", "opteron-6168-bw"); empty inherits
+	// the plan's (ultimately opteron-6168). Unknown names are rejected at
+	// plan-load time.
+	Machine string `json:",omitempty"`
 }
 
 // apply writes the non-zero overrides onto a vm.Config.
@@ -150,6 +156,9 @@ func (o *ConfigOverrides) apply(cfg *vm.Config) {
 	if o.SurvivorRatio != 0 {
 		cfg.SurvivorRatio = o.SurvivorRatio
 	}
+	if o.Machine != "" {
+		cfg.MachineName = o.Machine
+	}
 }
 
 // validate reports structurally impossible overrides.
@@ -185,6 +194,9 @@ func (o *ConfigOverrides) validate() error {
 		return err
 	}
 	if err := gc.ValidatePolicy(o.GCPolicy); err != nil {
+		return err
+	}
+	if err := machine.ValidateModel(o.Machine); err != nil {
 		return err
 	}
 	return nil
@@ -586,6 +598,11 @@ type Plan struct {
 	LockPolicy string `json:",omitempty"`
 	Placement  string `json:",omitempty"`
 	GCPolicy   string `json:",omitempty"`
+	// Machine is the hardware-model default every scenario inherits; a
+	// scenario's Overrides.Machine takes precedence. Empty means
+	// opteron-6168, the paper's testbed. Unknown names are rejected at
+	// plan-load time.
+	Machine string `json:",omitempty"`
 	// Scenarios are the experiments, executed through the engine's pool.
 	Scenarios []Scenario
 	// Reports are the cross-scenario artifacts, rendered in order once
@@ -613,6 +630,9 @@ func (p *Plan) Validate() error {
 		return fmt.Errorf("core: plan %q: %w", p.Name, err)
 	}
 	if err := gc.ValidatePolicy(p.GCPolicy); err != nil {
+		return fmt.Errorf("core: plan %q: %w", p.Name, err)
+	}
+	if err := machine.ValidateModel(p.Machine); err != nil {
 		return fmt.Errorf("core: plan %q: %w", p.Name, err)
 	}
 	names := make(map[string]bool, len(p.Scenarios))
@@ -946,7 +966,7 @@ func (e *Engine) runScenario(ctx context.Context, p *Plan, sc *Scenario) (*Scena
 		spec = spec.Scale(scale)
 	}
 	seed := sc.seed(p)
-	base := vm.Config{Seed: seed, LockPolicy: p.LockPolicy, GCPolicy: p.GCPolicy}
+	base := vm.Config{Seed: seed, LockPolicy: p.LockPolicy, GCPolicy: p.GCPolicy, MachineName: p.Machine}
 	base.Sched.Placement = p.Placement
 	sc.Overrides.apply(&base)
 	swCfg := SweepConfig{ThreadCounts: sc.threadCounts(p)}

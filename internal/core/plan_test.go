@@ -123,6 +123,10 @@ func TestPlanValidate(t *testing.T) {
 		{"bias phase without groups", func(p *Plan) {
 			p.Scenarios[1].Overrides = &ConfigOverrides{BiasPhase: 100}
 		}, "BiasPhase set without BiasGroups"},
+		{"unknown plan machine", func(p *Plan) { p.Machine = "vax-780" }, "unknown machine model"},
+		{"unknown override machine", func(p *Plan) {
+			p.Scenarios[1].Overrides = &ConfigOverrides{Machine: "vax-780"}
+		}, "unknown machine model"},
 	}
 	for _, tc := range cases {
 		p := testPlan()

@@ -5,6 +5,7 @@ import (
 
 	"javasim/internal/gc"
 	"javasim/internal/locks"
+	"javasim/internal/machine"
 	"javasim/internal/metrics"
 	"javasim/internal/report"
 	"javasim/internal/sched"
@@ -39,6 +40,12 @@ func policyTag(r *vm.Result) string {
 			tag += " "
 		}
 		tag += "gc=" + g
+	}
+	if m := r.Machine; m != "" && m != machine.DefaultModel {
+		if tag != "" {
+			tag += " "
+		}
+		tag += "machine=" + m
 	}
 	return tag
 }
@@ -240,24 +247,42 @@ func renderWorkDistribution(labels []string, sweeps []*Sweep) *report.Table {
 }
 
 // renderFactors builds the factor-decomposition table, one row per
-// labeled sweep.
+// labeled sweep. A bw-share column appears only when some sweep ran on a
+// bandwidth-limited machine, so historical artifacts keep their
+// byte-identical form.
 func renderFactors(labels []string, sweeps []*Sweep) *report.Table {
+	bw := false
+	for _, sw := range sweeps {
+		for _, p := range sw.Points {
+			if p.Result.MemTraffic > 0 {
+				bw = true
+			}
+		}
+	}
+	headers := []string{"workload", "amdahl-f", "acq-growth", "cont-growth",
+		"gc-growth", "gc-share", "lifespan-shift", "lifespan-ks", "top4-share"}
+	if bw {
+		headers = append(headers, "bw-share")
+	}
 	t := &report.Table{
-		Title: "Table — scalability factor decomposition",
-		Headers: []string{"workload", "amdahl-f", "acq-growth", "cont-growth",
-			"gc-growth", "gc-share", "lifespan-shift", "lifespan-ks", "top4-share"},
+		Title:   "Table — scalability factor decomposition",
+		Headers: headers,
 	}
 	for i, sw := range sweeps {
 		f := sw.ComputeFactors()
-		t.AddRow(tagLabel(labels[i], sw),
+		row := []string{tagLabel(labels[i], sw),
 			fmt.Sprintf("%.3f", f.SequentialFraction),
 			fmt.Sprintf("%.2fx", f.AcquisitionGrowth),
 			fmt.Sprintf("%.2fx", f.ContentionGrowth),
 			fmt.Sprintf("%.2fx", f.GCTimeGrowth),
-			report.FormatPct(f.GCShareFirst)+"->"+report.FormatPct(f.GCShareLast),
+			report.FormatPct(f.GCShareFirst) + "->" + report.FormatPct(f.GCShareLast),
 			fmt.Sprintf("%+.1fpt", 100*f.LifespanShift),
 			fmt.Sprintf("%.3f", f.LifespanKS),
-			report.FormatPct(f.Top4Share))
+			report.FormatPct(f.Top4Share)}
+		if bw {
+			row = append(row, report.FormatPct(f.BandwidthShare))
+		}
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -267,6 +292,17 @@ func renderFactors(labels []string, sweeps []*Sweep) *report.Table {
 func nonDefaultGC(results []*vm.Result) bool {
 	for _, r := range results {
 		if r.GCPolicy != "" && r.GCPolicy != gc.PolicyStwSerial {
+			return true
+		}
+	}
+	return false
+}
+
+// bandwidthLimited reports whether any result ran on a machine that
+// billed memory traffic against a per-socket bandwidth ceiling.
+func bandwidthLimited(results []*vm.Result) bool {
+	for _, r := range results {
+		if r.MemTraffic > 0 {
 			return true
 		}
 	}
@@ -298,6 +334,9 @@ func compareRows(t *report.Table, results []*vm.Result) {
 	if nonDefaultGC(results) {
 		row("gc phases s/s/c", func(r *vm.Result) string { return formatPhases(r.GCPhases) })
 		row("conc gc cpu", func(r *vm.Result) string { return r.ConcGCCPUTime.String() })
+	}
+	if bandwidthLimited(results) {
+		row("mem-bw stall", func(r *vm.Result) string { return r.MemBWStall.String() })
 	}
 	row("lifespan cdf@1KB", func(r *vm.Result) string { return report.FormatPct(r.Lifespans.FractionBelow(1024)) })
 	row("mean lifespan", func(r *vm.Result) string { return formatBytes(int64(r.Lifespans.Mean())) })

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -23,12 +24,28 @@ func TestOpteron6168Preset(t *testing.T) {
 	}
 }
 
+func TestSparcT3Preset(t *testing.T) {
+	cfg := SparcT3_4()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+	if got := cfg.TotalCores(); got != 512 {
+		t.Errorf("TotalCores = %d, want 512 hardware threads", got)
+	}
+	if got := cfg.UnitsPerSocket(); got != 128 {
+		t.Errorf("UnitsPerSocket = %d, want 128", got)
+	}
+}
+
 func TestValidateRejectsBadConfigs(t *testing.T) {
 	cases := []Config{
 		{Sockets: 0, CoresPerSocket: 4, MemoryPerNode: 1},
 		{Sockets: 2, CoresPerSocket: 0, MemoryPerNode: 1},
 		{Sockets: 2, CoresPerSocket: 4, MemoryPerNode: 0},
 		{Sockets: 2, CoresPerSocket: 4, MemoryPerNode: 1, LocalAccess: -1},
+		{Sockets: 2, CoresPerSocket: 4, MemoryPerNode: 1, ThreadsPerCore: -1},
+		{Sockets: 2, CoresPerSocket: 4, MemoryPerNode: 1, IssueWidth: -2},
+		{Sockets: 2, CoresPerSocket: 4, MemoryPerNode: 1, SocketBandwidth: -1},
 	}
 	for i, c := range cases {
 		if err := c.Validate(); err == nil {
@@ -38,17 +55,52 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 }
 
 func TestSocketAssignment(t *testing.T) {
-	m := New(Opteron6168())
+	m := MustNew(Opteron6168())
 	for i := 0; i < m.NumCores(); i++ {
 		want := i / 12
 		if got := m.SocketOf(i); got != want {
 			t.Errorf("core %d on socket %d, want %d", i, got, want)
 		}
+		// Single-threaded cores: one unit per pipeline, strand always 0.
+		if p := m.PipelineOf(i); p != i {
+			t.Errorf("core %d pipeline %d, want %d", i, p, i)
+		}
+		if s := m.Core(i).Strand; s != 0 {
+			t.Errorf("core %d strand %d, want 0", i, s)
+		}
+	}
+}
+
+func TestCMTUnitLayout(t *testing.T) {
+	m := MustNew(SparcT3_4())
+	cps, ups := 16, 128
+	for i := 0; i < m.NumCores(); i++ {
+		c := m.Core(i)
+		wantSocket := i / ups
+		u := i % ups
+		wantPipeline := wantSocket*cps + u%cps
+		wantStrand := u / cps
+		if c.Socket != wantSocket || c.Pipeline != wantPipeline || c.Strand != wantStrand {
+			t.Fatalf("unit %d = (socket %d, pipeline %d, strand %d), want (%d, %d, %d)",
+				i, c.Socket, c.Pipeline, c.Strand, wantSocket, wantPipeline, wantStrand)
+		}
+	}
+	// First 16 units fill 16 distinct pipelines before strands double up.
+	seen := map[int]bool{}
+	for i := 0; i < cps; i++ {
+		p := m.PipelineOf(i)
+		if seen[p] {
+			t.Fatalf("unit %d repeats pipeline %d before all pipelines used", i, p)
+		}
+		seen[p] = true
+	}
+	if m.PipelineOf(cps) != m.PipelineOf(0) {
+		t.Errorf("unit %d should share pipeline with unit 0", cps)
 	}
 }
 
 func TestEnableCores(t *testing.T) {
-	m := New(Opteron6168())
+	m := MustNew(Opteron6168())
 	if err := m.EnableCores(16); err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +119,7 @@ func TestEnableCores(t *testing.T) {
 }
 
 func TestEnableCoresRange(t *testing.T) {
-	m := New(Opteron6168())
+	m := MustNew(Opteron6168())
 	if err := m.EnableCores(0); err == nil {
 		t.Error("EnableCores(0) accepted")
 	}
@@ -80,7 +132,7 @@ func TestEnableCoresRange(t *testing.T) {
 }
 
 func TestDistance(t *testing.T) {
-	m := New(Opteron6168())
+	m := MustNew(Opteron6168())
 	if d := m.Distance(2, 2); d != 0 {
 		t.Errorf("same-socket distance = %d, want 0", d)
 	}
@@ -97,9 +149,49 @@ func TestDistance(t *testing.T) {
 	}
 }
 
+// ringModel is a routed topology: sockets on a ring, distance = minimal
+// hop count around it. Exercises the Distance model hook.
+type ringModel struct{ cfg Config }
+
+func (r ringModel) Name() string   { return "ring-test" }
+func (r ringModel) Config() Config { return r.cfg }
+func (r ringModel) Distance(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap := r.cfg.Sockets - d; wrap < d {
+		return wrap
+	}
+	return d
+}
+
+func TestDistanceModelHook(t *testing.T) {
+	cfg := Config{
+		Sockets: 8, CoresPerSocket: 2, MemoryPerNode: 1 << 30,
+		LocalAccess: 60 * sim.Nanosecond, RemoteAccessPerHop: 40 * sim.Nanosecond,
+	}
+	m, err := NewFromModel(ringModel{cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Distance(0, 4); d != 4 {
+		t.Errorf("Distance(0,4) = %d, want 4 (opposite side of ring)", d)
+	}
+	if d := m.Distance(0, 7); d != 1 {
+		t.Errorf("Distance(0,7) = %d, want 1 (wraparound)", d)
+	}
+	// Multi-hop distances compound through the latency model.
+	far := m.MemoryLatency(0, 4)
+	near := m.MemoryLatency(0, 1)
+	if far <= near {
+		t.Errorf("4-hop latency %v not beyond 1-hop %v", far, near)
+	}
+}
+
 func TestMemoryLatency(t *testing.T) {
 	cfg := Opteron6168()
-	m := New(cfg)
+	m := MustNew(cfg)
 	local := m.MemoryLatency(0, 0) // core 0 is on socket 0
 	remote := m.MemoryLatency(0, 1)
 	if local != cfg.LocalAccess {
@@ -114,7 +206,7 @@ func TestMemoryLatency(t *testing.T) {
 }
 
 func TestRemotePenalty(t *testing.T) {
-	m := New(Opteron6168())
+	m := MustNew(Opteron6168())
 	if p := m.RemotePenalty(0, 0); p != 1 {
 		t.Errorf("local penalty = %v, want 1", p)
 	}
@@ -123,28 +215,139 @@ func TestRemotePenalty(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnInvalid(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("New accepted invalid config")
-		}
-	}()
-	New(Config{})
+func TestNewErrorsOnInvalid(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted invalid config")
+	}
 }
 
-// Property: for any valid small topology, every core maps to a valid
-// socket, and memory latency is minimized at the local node.
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew accepted invalid config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestBillTraffic(t *testing.T) {
+	cfg := Opteron6168()
+	cfg.SocketBandwidth = 1 << 20 // 1 MiB per virtual second
+	m := MustNew(cfg)
+	if !m.HasBandwidthLimit() {
+		t.Fatal("HasBandwidthLimit = false with SocketBandwidth set")
+	}
+	// First transfer on an idle channel: no stall, channel busy for
+	// bytes/bandwidth.
+	if stall := m.BillTraffic(0, 512<<10, 0); stall != 0 {
+		t.Errorf("idle-channel stall = %v, want 0", stall)
+	}
+	// Second transfer arrives immediately: waits out the 0.5 s backlog.
+	stall := m.BillTraffic(0, 512<<10, 0)
+	if want := 500 * sim.Millisecond; stall != want {
+		t.Errorf("backlogged stall = %v, want %v", stall, want)
+	}
+	// Another socket's channel is independent.
+	if stall := m.BillTraffic(1, 512<<10, 0); stall != 0 {
+		t.Errorf("cross-socket stall = %v, want 0", stall)
+	}
+	// After the backlog drains, traffic is free again.
+	if stall := m.BillTraffic(0, 512<<10, 2*sim.Second); stall != 0 {
+		t.Errorf("post-drain stall = %v, want 0", stall)
+	}
+	if got := m.TrafficBytes(); got != 4*(512<<10) {
+		t.Errorf("TrafficBytes = %d, want %d", got, 4*(512<<10))
+	}
+	if got := m.BandwidthStall(); got != 500*sim.Millisecond {
+		t.Errorf("BandwidthStall = %v, want %v", got, 500*sim.Millisecond)
+	}
+}
+
+func TestBillTrafficUnlimited(t *testing.T) {
+	m := MustNew(Opteron6168())
+	if m.HasBandwidthLimit() {
+		t.Fatal("HasBandwidthLimit = true without SocketBandwidth")
+	}
+	if stall := m.BillTraffic(0, 1<<30, 0); stall != 0 {
+		t.Errorf("unlimited machine stalled %v", stall)
+	}
+}
+
+func TestModelRegistry(t *testing.T) {
+	for _, name := range []string{DefaultModel, ModelSparcT3, ModelOpteronBW} {
+		mdl, err := LookupModel(name)
+		if err != nil {
+			t.Fatalf("LookupModel(%q): %v", name, err)
+		}
+		if mdl.Name() != name {
+			t.Errorf("model %q reports name %q", name, mdl.Name())
+		}
+		if !KnownModel(name) {
+			t.Errorf("KnownModel(%q) = false", name)
+		}
+	}
+	if err := RegisterModel(NewModel(DefaultModel, Opteron6168())); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if _, err := LookupModel("no-such-machine"); err == nil {
+		t.Error("unknown model lookup succeeded")
+	} else if !strings.Contains(err.Error(), "no-such-machine") {
+		t.Errorf("unknown-model error %q does not name the model", err)
+	}
+	if err := RegisterModel(NewModel("bad-config", Config{})); err == nil {
+		t.Error("invalid model config accepted")
+	}
+}
+
+func TestValidateModel(t *testing.T) {
+	if err := ValidateModel(""); err != nil {
+		t.Errorf("empty name rejected: %v", err)
+	}
+	if err := ValidateModel(DefaultModel); err != nil {
+		t.Errorf("default model rejected: %v", err)
+	}
+	if err := ValidateModel("no-such-machine"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestModelNamesIncludeBuiltins(t *testing.T) {
+	names := ModelNames()
+	want := map[string]bool{DefaultModel: false, ModelSparcT3: false, ModelOpteronBW: false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("built-in model %q missing from ModelNames", n)
+		}
+	}
+}
+
+// Property: for any valid small topology, every unit maps to a valid
+// socket and pipeline, and memory latency is minimized at the local node.
 func TestTopologyProperty(t *testing.T) {
-	f := func(sockets, cores uint8) bool {
+	f := func(sockets, cores, strands uint8) bool {
 		s := int(sockets%8) + 1
 		c := int(cores%16) + 1
-		m := New(Config{
-			Sockets: s, CoresPerSocket: c, MemoryPerNode: 1 << 30,
-			LocalAccess: 60 * sim.Nanosecond, RemoteAccessPerHop: 40 * sim.Nanosecond,
+		tpc := int(strands%4) + 1
+		m := MustNew(Config{
+			Sockets: s, CoresPerSocket: c, ThreadsPerCore: tpc,
+			MemoryPerNode: 1 << 30,
+			LocalAccess:   60 * sim.Nanosecond, RemoteAccessPerHop: 40 * sim.Nanosecond,
 		})
+		if m.NumCores() != s*c*tpc {
+			return false
+		}
 		for i := 0; i < m.NumCores(); i++ {
 			sk := m.SocketOf(i)
 			if sk < 0 || sk >= s {
+				return false
+			}
+			p := m.PipelineOf(i)
+			if p < 0 || p >= s*c || p/c != sk {
 				return false
 			}
 			localLat := m.MemoryLatency(i, sk)

@@ -60,7 +60,7 @@ func BenchmarkSchedContinuation(b *testing.B) {
 // arithmetic active.
 func BenchmarkNUMAPenaltyPath(b *testing.B) {
 	s := sim.New()
-	m := machine.New(machine.Opteron6168())
+	m := machine.MustNew(machine.Opteron6168())
 	sc := New(s, m, Config{Steal: true})
 	th := sc.NewThread("w", 0)
 	th.MemoryIntensity = 0.8

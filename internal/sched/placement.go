@@ -104,7 +104,10 @@ func (affinityPlacement) Name() string { return PlacementAffinity }
 
 // PickCore prefers the thread's last core when that core is free,
 // otherwise the least-loaded core, breaking ties toward the thread's home
-// socket and then the lowest index (determinism).
+// socket, then (on CMT machines) toward the least-crowded pipeline, and
+// finally the lowest index (determinism). The pipeline tie-break spreads
+// sibling hardware threads across distinct issue pipelines before
+// doubling up strands.
 func (affinityPlacement) PickCore(sc *Scheduler, t *Thread) int {
 	if t.core >= 0 {
 		if idx, ok := sc.coreIndex(t.core); ok {
@@ -114,12 +117,20 @@ func (affinityPlacement) PickCore(sc *Scheduler, t *Thread) int {
 			}
 		}
 	}
-	best, bestLoad, bestAffine := -1, int(^uint(0)>>1), false
+	cmt := sc.CMT()
+	best, bestLoad, bestAffine, bestPipe := -1, int(^uint(0)>>1), false, 0
 	for i := range sc.cores {
 		load := sc.CoreLoad(i)
 		affine := t.HomeSocket() >= 0 && sc.SocketOfCore(i) == t.HomeSocket()
-		if load < bestLoad || (load == bestLoad && affine && !bestAffine) {
-			best, bestLoad, bestAffine = i, load, affine
+		pipe := 0
+		if cmt {
+			pipe = sc.PipelineLoad(i)
+		}
+		better := load < bestLoad ||
+			(load == bestLoad && affine && !bestAffine) ||
+			(cmt && load == bestLoad && affine == bestAffine && pipe < bestPipe)
+		if better {
+			best, bestLoad, bestAffine, bestPipe = i, load, affine, pipe
 		}
 	}
 	return best
@@ -143,13 +154,20 @@ type leastLoadedPlacement struct{}
 
 func (leastLoadedPlacement) Name() string { return PlacementLeastLoaded }
 
-// PickCore returns the core with the fewest resident threads, ties to the
+// PickCore returns the core with the fewest resident threads, breaking
+// ties (on CMT machines) toward the least-crowded pipeline and then the
 // lowest index.
 func (leastLoadedPlacement) PickCore(sc *Scheduler, t *Thread) int {
-	best, bestLoad := 0, int(^uint(0)>>1)
+	cmt := sc.CMT()
+	best, bestLoad, bestPipe := 0, int(^uint(0)>>1), 0
 	for i := range sc.cores {
-		if load := sc.CoreLoad(i); load < bestLoad {
-			best, bestLoad = i, load
+		load := sc.CoreLoad(i)
+		pipe := 0
+		if cmt {
+			pipe = sc.PipelineLoad(i)
+		}
+		if load < bestLoad || (cmt && load == bestLoad && pipe < bestPipe) {
+			best, bestLoad, bestPipe = i, load, pipe
 		}
 	}
 	return best

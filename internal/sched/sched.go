@@ -193,6 +193,13 @@ type Scheduler struct {
 	threads []*Thread
 	place   Placement
 
+	// CMT pipeline sharing: nil on machines with one hardware thread per
+	// core. siblings[i] lists the scheduler core indices (including i)
+	// whose units issue through the same physical pipeline as core i;
+	// issueWidth is how many of them can run at full speed concurrently.
+	siblings   [][]int
+	issueWidth int
+
 	phaseWake []*sim.Event // per core, pending phase-boundary wakeup
 	idleStart []sim.Time   // per core, when it last went idle; -1 if busy
 	idleTotal []sim.Time
@@ -231,6 +238,18 @@ func New(s *sim.Simulator, m *machine.Machine, cfg Config) *Scheduler {
 	}
 	if cfg.Bias.Groups > 1 && cfg.Bias.PhaseLength <= 0 {
 		panic("sched: PhaseBias.PhaseLength must be positive")
+	}
+	if m.ThreadsPerCore() > 1 {
+		sc.issueWidth = m.IssueWidth()
+		group := make(map[int][]int)
+		for i, c := range enabled {
+			p := m.PipelineOf(c)
+			group[p] = append(group[p], i)
+		}
+		sc.siblings = make([][]int, len(enabled))
+		for i, c := range enabled {
+			sc.siblings[i] = group[m.PipelineOf(c)]
+		}
 	}
 	return sc
 }
@@ -527,16 +546,7 @@ func (sc *Scheduler) dispatch(idx int) {
 	sc.setState(t, Running)
 	t.dispatches++
 
-	// Effective-time multiplier: NUMA-remote placement slows the thread in
-	// proportion to its memory intensity.
-	pen := 1.0
-	if t.homeSocket >= 0 {
-		pen = 1 + t.MemoryIntensity*(sc.machine.RemotePenalty(c.id, t.homeSocket)-1)
-	}
-	t.penalty1024 = int64(pen * 1024)
-	if t.penalty1024 < 1024 {
-		t.penalty1024 = 1024
-	}
+	sc.setPenalty(t, c)
 	if migrated {
 		// Cache/TLB refill charged as extra effective time on this slice.
 		t.remainingBase += sc.machine.Config().MigrationCost
@@ -551,6 +561,58 @@ func (sc *Scheduler) dispatch(idx int) {
 
 func (sc *Scheduler) effRemaining(t *Thread) sim.Time {
 	return sim.Time(int64(t.remainingBase) * t.penalty1024 / 1024)
+}
+
+// setPenalty computes t's effective-time multiplier at its current
+// placement on core c: the NUMA-remote factor scaled by memory intensity,
+// times the pipeline-sharing factor on CMT machines (busy sibling strands
+// beyond the issue width divide the pipeline's throughput evenly). The
+// penalty holds for one slice; re-arm points recompute it so sibling
+// activity is sampled at slice granularity.
+func (sc *Scheduler) setPenalty(t *Thread, c *coreState) {
+	pen := 1.0
+	if t.homeSocket >= 0 {
+		pen = 1 + t.MemoryIntensity*(sc.machine.RemotePenalty(c.id, t.homeSocket)-1)
+	}
+	t.penalty1024 = int64(pen * 1024)
+	if t.penalty1024 < 1024 {
+		t.penalty1024 = 1024
+	}
+	if sc.siblings != nil {
+		if busy := sc.busyOnPipeline(c.idx); busy > sc.issueWidth {
+			t.penalty1024 = t.penalty1024 * int64(busy) / int64(sc.issueWidth)
+		}
+	}
+}
+
+// busyOnPipeline counts the units sharing core idx's pipeline (including
+// idx itself) that are currently running a thread.
+func (sc *Scheduler) busyOnPipeline(idx int) int {
+	n := 0
+	for _, s := range sc.siblings[idx] {
+		if sc.cores[s].current != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// CMT reports whether the machine exposes several hardware threads per
+// pipeline, i.e. whether pipeline sharing is being modeled.
+func (sc *Scheduler) CMT() bool { return sc.siblings != nil }
+
+// PipelineLoad returns the total CoreLoad across every unit sharing core
+// idx's pipeline. On non-CMT machines it equals CoreLoad(idx). Placements
+// use it to spread threads across pipelines before doubling up strands.
+func (sc *Scheduler) PipelineLoad(idx int) int {
+	if sc.siblings == nil {
+		return sc.CoreLoad(idx)
+	}
+	n := 0
+	for _, s := range sc.siblings[idx] {
+		n += sc.CoreLoad(s)
+	}
+	return n
 }
 
 // tick fires at slice expiry or segment completion for core idx.
@@ -580,7 +642,12 @@ func (sc *Scheduler) tick(idx int) {
 		sc.dispatch(idx)
 		return
 	}
-	// Nobody waiting; run another slice in place.
+	// Nobody waiting; run another slice in place. On CMT machines the
+	// slice boundary re-samples sibling activity so the pipeline-sharing
+	// penalty tracks strands that started or stopped since dispatch.
+	if sc.siblings != nil {
+		sc.setPenalty(t, c)
+	}
 	t.startedAt = sc.sim.Now()
 	slice := sc.effRemaining(t)
 	if slice > sc.cfg.Quantum {
@@ -609,6 +676,9 @@ func (sc *Scheduler) completeSegment(t *Thread, idx int) {
 			c.queue = append(c.queue, t)
 			sc.dispatch(idx)
 			return
+		}
+		if sc.siblings != nil {
+			sc.setPenalty(t, c)
 		}
 		t.startedAt = sc.sim.Now()
 		slice := sc.effRemaining(t)

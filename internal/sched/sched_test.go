@@ -9,14 +9,14 @@ import (
 )
 
 func singleCoreMachine() *machine.Machine {
-	return machine.New(machine.Config{
+	return machine.MustNew(machine.Config{
 		Sockets: 1, CoresPerSocket: 1, MemoryPerNode: 1 << 30,
 		LocalAccess: 65, RemoteAccessPerHop: 45,
 	})
 }
 
 func multiCoreMachine(cores int) *machine.Machine {
-	return machine.New(machine.Config{
+	return machine.MustNew(machine.Config{
 		Sockets: 1, CoresPerSocket: cores, MemoryPerNode: 1 << 30,
 		LocalAccess: 65, RemoteAccessPerHop: 45,
 	})
@@ -231,7 +231,7 @@ func TestDoubleSubmitPanics(t *testing.T) {
 
 func TestMigrationAccounting(t *testing.T) {
 	s := sim.New()
-	m := machine.New(machine.Config{
+	m := machine.MustNew(machine.Config{
 		Sockets: 2, CoresPerSocket: 1, MemoryPerNode: 1 << 30,
 		LocalAccess: 65, RemoteAccessPerHop: 45, MigrationCost: 10 * sim.Microsecond,
 	})
@@ -264,7 +264,7 @@ func TestMigrationAccounting(t *testing.T) {
 
 func TestNUMAPenaltySlowsRemotePlacement(t *testing.T) {
 	s := sim.New()
-	m := machine.New(machine.Config{
+	m := machine.MustNew(machine.Config{
 		Sockets: 2, CoresPerSocket: 1, MemoryPerNode: 1 << 30,
 		LocalAccess: 50, RemoteAccessPerHop: 50, // remote = 2x local
 	})
@@ -398,6 +398,48 @@ func TestConservationProperty(t *testing.T) {
 		return cpu == total
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCMTDispatchRespectsEnabledUnits is the hardware-thread safety
+// property: after EnableCores(n) on a CMT machine, every dispatch lands
+// on one of the first n units — never a disabled strand, never an index
+// past the machine. Checked inside running segment callbacks, where the
+// thread is live on its core.
+func TestCMTDispatchRespectsEnabledUnits(t *testing.T) {
+	f := func(nSeed, thSeed uint8) bool {
+		m := machine.MustNew(machine.Config{
+			Sockets: 2, CoresPerSocket: 4, ThreadsPerCore: 4, IssueWidth: 2,
+			MemoryPerNode: 1 << 30, LocalAccess: 65, RemoteAccessPerHop: 45,
+		})
+		total := m.NumCores() // 32 hardware threads
+		n := 1 + int(nSeed)%total
+		if err := m.EnableCores(n); err != nil {
+			t.Fatalf("EnableCores(%d): %v", n, err)
+		}
+		s := sim.New()
+		sc := New(s, m, Config{Quantum: 100 * sim.Microsecond, Steal: true})
+		nThreads := 1 + int(thSeed)%40
+		ok := true
+		for i := 0; i < nThreads; i++ {
+			th := sc.NewThread("w", 0)
+			segs := 0
+			var step func()
+			step = func() {
+				if c := th.Core(); c < 0 || c >= n {
+					ok = false
+				}
+				if segs++; segs < 5 {
+					sc.Submit(th, 30*sim.Microsecond, step)
+				}
+			}
+			sc.Submit(th, 30*sim.Microsecond, step)
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
 	}
 }

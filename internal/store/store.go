@@ -44,7 +44,7 @@ import (
 // when vm.Result changes shape incompatibly: old entries then read as
 // misses and are lazily replaced by re-simulation, instead of decoding
 // into half-filled structs.
-const Version = 1
+const Version = 2
 
 // entryExt is the on-disk entry suffix.
 const entryExt = ".json"

@@ -13,9 +13,13 @@ import (
 
 // allocate performs one OpAlloc for m: TLAB fast path, direct eden
 // allocation for large objects, and the allocation-failure path that
-// requests a collection. It returns false when the mutator was parked for
-// GC — the post-GC resume retries the same op.
-func (v *vm) allocate(m *mutator, op *workload.Op) bool {
+// requests a collection. It returns ok=false when the mutator was parked
+// for GC — the post-GC resume retries the same op. On bandwidth-limited
+// machines, stall is the memory-channel backlog the mutator must absorb
+// before continuing; traffic is billed at heap-crossing granularity (TLAB
+// refills and TLAB-bypassing allocations), so the TLAB bump-pointer fast
+// path — including fused op runs, which never refill — stays free.
+func (v *vm) allocate(m *mutator, op *workload.Op) (stall sim.Time, ok bool) {
 	size := int64(op.Size)
 	pretenure := v.pret.enabled && v.pret.shouldPretenure(op.Site)
 	if pretenure {
@@ -23,26 +27,68 @@ func (v *vm) allocate(m *mutator, op *workload.Op) bool {
 			// Only a compacting collection can make room in the old
 			// generation.
 			v.requestFullGC(m)
-			return false
+			return 0, false
 		}
+		stall = v.billAllocTraffic(m, size)
 	} else if tlabSize := v.heap.Config().TLABSize; size*4 > tlabSize {
 		// Large object: straight into eden, bypassing the TLAB.
 		if !v.heap.AllocDirect(m.compartment, size) {
 			v.requestGC(m)
-			return false
+			return 0, false
 		}
+		stall = v.billAllocTraffic(m, size)
 	} else if !m.tlab.Alloc(size) {
 		if !v.heap.RefillTLAB(&m.tlab, m.compartment) {
 			v.requestGC(m)
-			return false
+			return 0, false
 		}
 		if !m.tlab.Alloc(size) {
 			panic("vm: allocation exceeds a fresh TLAB") // excluded by the size*4 check
 		}
+		stall = v.billAllocTraffic(m, v.tlabSize)
 	}
 	m.gcRetries = 0
 	v.commitAlloc(m, op, pretenure)
-	return true
+	return stall, true
+}
+
+// billAllocTraffic charges bytes of mutator allocation traffic against
+// the socket of m's NUMA home (its first-dispatch socket; socket 0 before
+// the first dispatch). On machines without a bandwidth ceiling it is a
+// cheap no-op.
+func (v *vm) billAllocTraffic(m *mutator, bytes int64) sim.Time {
+	if !v.mach.HasBandwidthLimit() {
+		return 0
+	}
+	socket := m.th.HomeSocket()
+	if socket < 0 {
+		socket = 0
+	}
+	return v.mach.BillTraffic(socket, bytes, v.sim.Now())
+}
+
+// billGCCopy charges the collector's evacuation traffic, spread evenly
+// across the sockets the run spans (parallel GC workers copy from every
+// node), and returns the slowest socket's stall — the pause extension the
+// whole stopped world observes.
+func (v *vm) billGCCopy(bytes int64) sim.Time {
+	if !v.mach.HasBandwidthLimit() || bytes <= 0 {
+		return 0
+	}
+	now := v.sim.Now()
+	share := bytes / int64(v.spanned)
+	rem := bytes - share*int64(v.spanned)
+	var worst sim.Time
+	for s := 0; s < v.spanned; s++ {
+		b := share
+		if s == 0 {
+			b += rem
+		}
+		if st := v.mach.BillTraffic(s, b, now); st > worst {
+			worst = st
+		}
+	}
+	return worst
 }
 
 // commitAlloc performs the bookkeeping of a successful allocation whose
@@ -181,6 +227,7 @@ func (v *vm) maybeStartGC() {
 	}
 	now := v.sim.Now()
 	var total sim.Time
+	var copied int64
 	if v.stwWantFull {
 		v.stwWantFull = false
 		fullPause, ferr := v.gc.CollectFull(now)
@@ -191,6 +238,7 @@ func (v *vm) maybeStartGC() {
 		v.cmsAbort()
 		v.emitGCTrace(gc.Full, now, fullPause.Duration)
 		total += fullPause.Duration
+		copied += fullPause.CopiedBytes + fullPause.PromotedBytes
 	}
 	pause, err := v.gc.CollectMinor(v.stwComp, now)
 	if errors.Is(err, heap.ErrOldGenFull) {
@@ -213,6 +261,7 @@ func (v *vm) maybeStartGC() {
 		v.cmsAbort()
 		v.emitGCTrace(gc.Full, now, fullPause.Duration)
 		total += fullPause.Duration
+		copied += fullPause.CopiedBytes + fullPause.PromotedBytes
 		pause, err = v.gc.CollectMinor(v.stwComp, now)
 	}
 	if err != nil {
@@ -221,10 +270,14 @@ func (v *vm) maybeStartGC() {
 	}
 	v.emitGCTrace(gc.Minor, now, pause.Duration)
 	total += pause.Duration
+	copied += pause.CopiedBytes + pause.PromotedBytes
 	if v.cfg.GC.Concurrent {
 		v.cmsMaybeTrigger()
 		total += v.cmsOnMinorPause(now)
 	}
+	// Evacuation and promotion move bytes through the memory channels; on
+	// bandwidth-limited machines the backlog extends the pause.
+	total += v.billGCCopy(copied)
 
 	ttsp := now - v.stwStart
 	v.safepointTime += ttsp

@@ -100,13 +100,15 @@ func (v *vm) step(m *mutator) {
 		v.sched.Submit(m.th, op.Dur, m.stepFn)
 
 	case workload.OpAlloc:
-		if !v.allocate(m, op) {
+		stall, ok := v.allocate(m, op)
+		if !ok {
 			// Allocation failure parked the mutator for GC; the retry
 			// re-enters step at the same op.
 			return
 		}
 		m.opIdx++
-		v.sched.Submit(m.th, op.Dur, m.stepFn)
+		// A saturated memory channel stretches the allocation's segment.
+		v.sched.Submit(m.th, op.Dur+stall, m.stepFn)
 
 	case workload.OpAcquire:
 		mon := v.shared[op.Lock]

@@ -33,6 +33,13 @@ type Config struct {
 	// Machine is the hardware model; zero value selects the paper's
 	// 4-socket Opteron 6168 testbed.
 	Machine machine.Config
+	// MachineName selects a registered machine model by name
+	// ("opteron-6168", "sparc-t3-4", "opteron-6168-bw", or a user
+	// registration); when set it overrides Machine with the model's
+	// configuration and installs the model's topology hooks. Empty with a
+	// zero Machine resolves to the default model; empty with an explicit
+	// Machine keeps that anonymous configuration.
+	MachineName string
 	// Threads is the mutator thread count. Zero defaults to 4.
 	Threads int
 	// Cores is the number of enabled cores. Zero follows the paper's
@@ -120,9 +127,20 @@ func (c Config) Canonical() Config { return c.withDefaults() }
 
 // withDefaults resolves the zero values.
 func (c Config) withDefaults() Config {
-	if c.Machine.Sockets == 0 {
-		c.Machine = machine.Opteron6168()
+	if c.MachineName == "" && c.Machine.Sockets == 0 {
+		c.MachineName = machine.DefaultModel
 	}
+	if c.MachineName != "" {
+		// A registered name overrides any inline config so the label and
+		// the hardware can never disagree. Unknown names keep the inline
+		// config (or the default) here and are rejected by RunContext.
+		if mdl, err := machine.LookupModel(c.MachineName); err == nil {
+			c.Machine = mdl.Config()
+		} else if c.Machine.Sockets == 0 {
+			c.Machine = machine.Opteron6168()
+		}
+	}
+	c.Machine = c.Machine.WithDefaults()
 	if c.Threads == 0 {
 		c.Threads = 4
 	}
@@ -193,6 +211,9 @@ type Result struct {
 	LockPolicy string
 	Placement  string
 	GCPolicy   string
+	// Machine is the registered machine-model name the run executed on;
+	// empty for anonymous inline machine configurations.
+	Machine string
 
 	// TotalTime is the virtual wall-clock duration of the run; it splits
 	// exactly into MutatorTime and GCTime (stop-the-world, including
@@ -230,6 +251,13 @@ type Result struct {
 
 	ObjectsAllocated int64
 	AllocatedBytes   int64
+
+	// MemBWStall is total thread time lost waiting on saturated per-socket
+	// memory channels; MemTraffic is total allocation and GC copy traffic
+	// billed against them. Both stay zero on machines without a
+	// SocketBandwidth ceiling.
+	MemBWStall sim.Time
+	MemTraffic int64
 
 	// Iterations holds per-iteration timings for multi-iteration runs
 	// (one entry for single-iteration runs).
@@ -410,6 +438,10 @@ type vm struct {
 	// gate; tlabSize caches the heap's TLAB size for the fusion scan.
 	fuseOK   bool
 	tlabSize int64
+
+	// spanned is the number of NUMA sockets the enabled units cover; GC
+	// copy traffic on bandwidth-limited machines is billed across them.
+	spanned int
 }
 
 // Run executes one benchmark under the given configuration and returns the
@@ -472,15 +504,28 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 		return nil, err
 	}
 
-	mach := machine.New(cfg.Machine)
+	var mach *machine.Machine
+	if cfg.MachineName != "" {
+		mdl, merr := machine.LookupModel(cfg.MachineName)
+		if merr != nil {
+			return nil, fmt.Errorf("vm: %w", merr)
+		}
+		mach, merr = machine.NewFromModel(mdl)
+		if merr != nil {
+			return nil, fmt.Errorf("vm: %w", merr)
+		}
+	} else if mach, err = machine.New(cfg.Machine); err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
 	if err := mach.EnableCores(cfg.Cores); err != nil {
 		return nil, fmt.Errorf("vm: %w", err)
 	}
 
 	// Let the GC policy shape the heap: compartment count and NUMA region
-	// homes. Cores are enabled socket-major, so the spanned socket count
-	// is a ceiling division.
-	spanned := (cfg.Cores + cfg.Machine.CoresPerSocket - 1) / cfg.Machine.CoresPerSocket
+	// homes. Units are enabled socket-major, so the spanned socket count
+	// is a ceiling division over units (hardware threads) per socket.
+	unitsPerSocket := cfg.Machine.UnitsPerSocket()
+	spanned := (cfg.Cores + unitsPerSocket - 1) / unitsPerSocket
 	if spanned > cfg.Machine.Sockets {
 		spanned = cfg.Machine.Sockets
 	}
@@ -491,7 +536,7 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 		Compartments:   cfg.Compartments,
 		Cores:          cfg.Cores,
 		Sockets:        spanned,
-		CoresPerSocket: cfg.Machine.CoresPerSocket,
+		CoresPerSocket: unitsPerSocket,
 	})
 	if layout.Compartments < 1 {
 		layout.Compartments = 1
@@ -547,6 +592,7 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 		lifespans: metrics.NewHistogram(spec.Name + "-lifespans"),
 		fuseOK:    !cfg.DisableFusion && cfg.TraceSink == nil,
 		tlabSize:  hp.Config().TLABSize,
+		spanned:   spanned,
 	}
 	if layout.HomeSockets != nil {
 		v.compOf = numaCompartmentMap(mach, cfg.Threads, cfg.Cores, layout)
@@ -719,6 +765,7 @@ func (v *vm) result() *Result {
 		LockPolicy:       v.cfg.LockPolicy,
 		Placement:        v.cfg.Sched.Placement,
 		GCPolicy:         v.cfg.GCPolicy,
+		Machine:          v.cfg.MachineName,
 		TotalTime:        v.endTime,
 		GCTime:           v.gcTime,
 		MutatorTime:      v.endTime - v.gcTime,
@@ -733,6 +780,8 @@ func (v *vm) result() *Result {
 		AllocatedBytes:   v.reg.Clock(),
 		ConcGCCPUTime:    v.cms.cpuTime,
 		ConcCycles:       v.cms.cycles,
+		MemBWStall:       v.mach.BandwidthStall(),
+		MemTraffic:       v.mach.TrafficBytes(),
 		Iterations:       v.iterStats,
 		HeapLog:          v.heapLog,
 	}

@@ -65,6 +65,14 @@
 // A/Bs whole disciplines, and custom policies join through
 // RegisterLockPolicy / RegisterPlacement / RegisterGCPolicy.
 //
+// The hardware itself is pluggable the same way: Config.MachineName (or
+// a plan's Machine field) selects a registered machine model —
+// "opteron-6168", the paper's testbed and the default; "sparc-t3-4", a
+// 512-hardware-thread CMT system whose strands share per-core issue
+// pipelines; or "opteron-6168-bw", the testbed with a finite per-socket
+// memory-bandwidth budget — and custom machines join through
+// RegisterMachine.
+//
 // Runs are deterministic: the same Config.Seed reproduces a run
 // bit-for-bit, whether points execute sequentially or across the worker
 // pool. Identical runs requested twice (by figures, studies, or
@@ -83,6 +91,7 @@ import (
 	"javasim/internal/gc"
 	"javasim/internal/lockprof"
 	"javasim/internal/locks"
+	"javasim/internal/machine"
 	"javasim/internal/metrics"
 	"javasim/internal/report"
 	"javasim/internal/sched"
@@ -510,6 +519,62 @@ func ParallelGCPolicy(alpha float64, syncTax Time) GCPolicy { return gc.StwParal
 // thread-group count (the built-in "compartment" defaults to one group
 // per NUMA socket the enabled cores span).
 func CompartmentGCPolicy(groups int) GCPolicy { return gc.Compartment(groups) }
+
+// Machine-model types. The hardware a run executes on is itself a
+// registry entry: Config.MachineName (or a plan's Machine field) selects
+// a registered model by name, and custom machines join via
+// RegisterMachine.
+type (
+	// MachineModel is a named, registrable hardware description: a
+	// MachineConfig plus the socket-distance topology hook.
+	MachineModel = machine.Model
+	// MachineConfig describes a NUMA machine: sockets, cores, hardware
+	// threads per core sharing an issue pipeline, per-node memory,
+	// access latencies, and an optional per-socket bandwidth ceiling.
+	MachineConfig = machine.Config
+)
+
+// Registry names of the built-in machine models.
+const (
+	// MachineOpteron6168 is the paper's testbed — four Opteron 6168
+	// sockets, 12 cores each — and the default.
+	MachineOpteron6168 = machine.DefaultModel
+	// MachineSparcT3 is a four-socket SPARC T3-4 CMT system: 512
+	// hardware threads, 8 per core sharing a dual-issue pipeline.
+	MachineSparcT3 = machine.ModelSparcT3
+	// MachineOpteron6168BW is the Opteron testbed with a finite
+	// per-socket memory-bandwidth budget.
+	MachineOpteron6168BW = machine.ModelOpteronBW
+)
+
+// RegisterMachine adds a machine model to the registry, making it
+// selectable by name through Config.MachineName, plan files, and
+// cmd/javasim -machine. Models are stateless descriptions (per-run state
+// lives in the machine instantiated from them), names are unique, and
+// registering an existing one — including the built-ins — is an error.
+// Invalid configurations are rejected at registration time.
+func RegisterMachine(m MachineModel) error { return machine.RegisterModel(m) }
+
+// NewMachineModel wraps a MachineConfig as a registrable model with the
+// default flat socket topology (every remote socket one hop away).
+// Implement the MachineModel interface directly for routed multi-hop
+// systems.
+func NewMachineModel(name string, cfg MachineConfig) MachineModel { return machine.NewModel(name, cfg) }
+
+// MachineNames returns every registered machine-model name in
+// registration order: the three built-ins, then user registrations.
+func MachineNames() []string { return machine.ModelNames() }
+
+// LookupMachine resolves a registered machine model by name.
+func LookupMachine(name string) (MachineModel, error) { return machine.LookupModel(name) }
+
+// SparcT3Config returns the SPARC T3-4 configuration the "sparc-t3-4"
+// model is registered with — a starting point for tuned CMT variants.
+func SparcT3Config() MachineConfig { return machine.SparcT3_4() }
+
+// Opteron6168Config returns the paper-testbed configuration the
+// "opteron-6168" model is registered with.
+func Opteron6168Config() MachineConfig { return machine.Opteron6168() }
 
 // Open-system traffic types. Setting Config.Traffic (or a scenario's
 // TrafficSpec) switches a run from the paper's closed loop — a fixed
