@@ -21,6 +21,7 @@ package core
 import (
 	"context"
 
+	"javasim/internal/fit"
 	"javasim/internal/metrics"
 	"javasim/internal/sim"
 	"javasim/internal/vm"
@@ -146,6 +147,41 @@ func (s *Sweep) CDFBelow(limit int64) []float64 {
 		out[i] = p.Result.Lifespans.FractionBelow(limit)
 	}
 	return out
+}
+
+// Throughputs returns per-point throughput in work units per virtual
+// second — the axis the analytic scalability models fit. The absolute
+// unit is arbitrary (the fitted scale lambda absorbs it); only the shape
+// across thread counts matters.
+func (s *Sweep) Throughputs() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		var units int64
+		for _, u := range p.Result.PerThreadUnits {
+			units += u
+		}
+		if secs := p.Result.TotalTime.Seconds(); secs > 0 {
+			out[i] = float64(units) / secs
+		}
+	}
+	return out
+}
+
+// FitUSL fits the Universal Scalability Law and the Amdahl special case
+// to the sweep's throughput curve, selecting between them by residual —
+// the analytic counterpart to ComputeFactors' ablation-style
+// decomposition (sigma tracks the lock-contention factors, kappa the
+// coherency-flavored ones: GC growth, bandwidth, placement).
+func (s *Sweep) FitUSL() (fit.Fit, error) {
+	threads := make([]int, len(s.Points))
+	for i, p := range s.Points {
+		threads[i] = p.Threads
+	}
+	pts, err := fit.Series(threads, s.Throughputs())
+	if err != nil {
+		return fit.Fit{}, err
+	}
+	return fit.Both(pts)
 }
 
 // DefaultSpeedupThreshold is the end-of-sweep speedup separating scalable

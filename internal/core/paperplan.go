@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"javasim/internal/fit"
 	"javasim/internal/sim"
 	"javasim/internal/workload"
 )
@@ -87,6 +88,16 @@ func PaperPlan(cfg ExperimentConfig) *Plan {
 		{Name: "AblationCompartments", Kind: ReportCompare, Baseline: "xalan-max", Modified: "xalan-compartmented",
 			Title: fmt.Sprintf("Ablation — compartmentalized heap (paper §IV, suggestion 2) — xalan @ %d threads", hi),
 			Note:  "paper hypothesis: per-group heap compartments shorten GC pause times"},
+	}
+	// The analytic cross-validation of the factor table (ROADMAP item 1):
+	// fit the USL to every workload sweep and report sigma/kappa next to
+	// the ablation-derived factors. A fit needs at least fit.MinPoints
+	// sweep points, so shortened test configs (the 2-point golden setup)
+	// keep their historical artifact set byte-identical.
+	if len(cfg.ThreadCounts) >= fit.MinPoints {
+		p.Reports = append(p.Reports, ReportSpec{
+			Name: "USLFitTable", Kind: ReportUSL, Scenarios: workloadNames,
+		})
 	}
 	return p
 }

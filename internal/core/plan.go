@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 
+	"javasim/internal/fit"
 	"javasim/internal/gc"
 	"javasim/internal/locks"
 	"javasim/internal/machine"
@@ -48,11 +50,30 @@ const (
 	// completed throughput and the latency tail at every swept rate. It
 	// requires (and is the only output allowed on) a Traffic scenario.
 	OutputGoodput Output = "goodput"
+	// OutputUSL renders the scenario's analytic scalability fit: the
+	// predicted-vs-measured throughput curve under the best of the USL
+	// and Amdahl models, with the fitted sigma/kappa/R^2 and predicted
+	// peak in the footnote. It needs at least fit.MinPoints thread
+	// counts to fit.
+	OutputUSL Output = "usl"
 )
 
 var validOutputs = map[Output]bool{
 	OutputSweep: true, OutputClassification: true, OutputFactors: true,
 	OutputLifespanCDF: true, OutputReplication: true, OutputGoodput: true,
+	OutputUSL: true,
+}
+
+// knownNames lists a validity map's keys, sorted, for "unknown X"
+// error messages — a rejection should always name what would have been
+// accepted.
+func knownNames[K ~string](valid map[K]bool) string {
+	names := make([]string, 0, len(valid))
+	for k := range valid {
+		names = append(names, string(k))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 // ConfigOverrides is the serializable subset of vm.Config a scenario may
@@ -340,7 +361,7 @@ func (sc *Scenario) validate(p *Plan) error {
 	}
 	for _, out := range sc.Outputs {
 		if !validOutputs[out] {
-			return fmt.Errorf("core: scenario %q: unknown output %q", sc.Name, out)
+			return fmt.Errorf("core: scenario %q: unknown output %q (known: %s)", sc.Name, out, knownNames(validOutputs))
 		}
 		if out == OutputReplication && sc.repeats() < 2 {
 			return fmt.Errorf("core: scenario %q: replication output needs Repeats >= 2", sc.Name)
@@ -352,6 +373,12 @@ func (sc *Scenario) validate(p *Plan) error {
 		}
 		if sc.Traffic == nil && out == OutputGoodput {
 			return fmt.Errorf("core: scenario %q: output %q needs a Traffic block", sc.Name, OutputGoodput)
+		}
+		if out == OutputUSL && sc.Traffic == nil {
+			if counts := sc.threadCounts(p); len(counts) < fit.MinPoints {
+				return fmt.Errorf("core: scenario %q: usl output needs at least %d thread counts to fit, have %v — a degenerate sweep cannot separate contention from coherency",
+					sc.Name, fit.MinPoints, counts)
+			}
 		}
 	}
 	return nil
@@ -445,7 +472,21 @@ const (
 	// the goodput-under-overload shape. It may only reference Traffic
 	// scenarios, and they must share one rate grid.
 	ReportGoodput ReportKind = "goodput"
+	// ReportUSL renders the analytic scalability fit across scenarios:
+	// one row per scenario with the fitted USL/Amdahl parameters (sigma,
+	// kappa, R^2), the residual-selected model, the predicted peak
+	// concurrency, and the worst predicted-vs-measured deviation. Every
+	// referenced scenario must sweep at least fit.MinPoints thread
+	// counts.
+	ReportUSL ReportKind = "usl"
 )
+
+var validReportKinds = map[ReportKind]bool{
+	ReportSeries: true, ReportLifespanCDF: true, ReportMutatorGC: true,
+	ReportClassification: true, ReportWorkDistribution: true,
+	ReportFactors: true, ReportCompare: true, ReportGoodput: true,
+	ReportUSL: true,
+}
 
 // Metric selects the number a series report extracts from each sweep
 // point.
@@ -526,11 +567,8 @@ func (rs *ReportSpec) validate(scenarios map[string]bool) error {
 			return err
 		}
 	}
-	switch rs.Kind {
-	case ReportSeries, ReportLifespanCDF, ReportMutatorGC, ReportClassification,
-		ReportWorkDistribution, ReportFactors, ReportCompare, ReportGoodput:
-	default:
-		return fmt.Errorf("core: report %q: unknown kind %q", rs.Name, rs.Kind)
+	if !validReportKinds[rs.Kind] {
+		return fmt.Errorf("core: report %q: unknown kind %q (known: %s)", rs.Name, rs.Kind, knownNames(validReportKinds))
 	}
 	// Fields that only apply to one kind are rejected elsewhere, so a
 	// setting that would be silently ignored surfaces at validation time.
@@ -553,13 +591,13 @@ func (rs *ReportSpec) validate(scenarios map[string]bool) error {
 	switch rs.Kind {
 	case ReportSeries:
 		if !validMetrics[rs.Metric] {
-			return fmt.Errorf("core: report %q: unknown metric %q", rs.Name, rs.Metric)
+			return fmt.Errorf("core: report %q: unknown metric %q (known: %s)", rs.Name, rs.Metric, knownNames(validMetrics))
 		}
 	case ReportLifespanCDF:
 		if len(rs.Scenarios) != 1 {
 			return fmt.Errorf("core: report %q: lifespan-cdf takes exactly one scenario", rs.Name)
 		}
-	case ReportMutatorGC, ReportClassification, ReportWorkDistribution, ReportFactors, ReportGoodput:
+	case ReportMutatorGC, ReportClassification, ReportWorkDistribution, ReportFactors, ReportGoodput, ReportUSL:
 	case ReportCompare:
 		switch {
 		case rs.Baseline == "" && rs.Modified == "":
@@ -676,6 +714,10 @@ func (p *Plan) Validate() error {
 			if err := p.checkGoodputRates(rs); err != nil {
 				return err
 			}
+		case ReportUSL:
+			if err := p.checkUSLCounts(rs); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -730,6 +772,29 @@ func (p *Plan) checkGoodputRates(rs *ReportSpec) error {
 		if !same {
 			return fmt.Errorf("core: report %q: scenario %q sweeps rates %v but %q sweeps %v — goodput rows must share the rate grid",
 				rs.Name, picked[0], first, name, rates)
+		}
+	}
+	return nil
+}
+
+// checkUSLCounts rejects usl reports over sweeps too short to fit: with
+// two shape parameters plus the throughput scale, fewer than
+// fit.MinPoints points is an interpolation, and the typo surfaces
+// before simulating rather than as a fit error mid-plan.
+func (p *Plan) checkUSLCounts(rs *ReportSpec) error {
+	byName := make(map[string]*Scenario, len(p.Scenarios))
+	for i := range p.Scenarios {
+		byName[p.Scenarios[i].Name] = &p.Scenarios[i]
+	}
+	for _, name := range p.reportScenarios(rs) {
+		sc := byName[name]
+		if sc == nil || sc.Traffic != nil {
+			continue // unknown and rate-sweep references were rejected above
+		}
+		counts := sc.threadCounts(p)
+		if len(counts) < fit.MinPoints {
+			return fmt.Errorf("core: report %q: scenario %q sweeps only %d thread counts (%v) — a usl fit needs at least %d points to separate contention from coherency",
+				rs.Name, name, len(counts), counts, fit.MinPoints)
 		}
 	}
 	return nil
@@ -1017,6 +1082,8 @@ func renderOutput(sc *Scenario, out Output, sweeps []*Sweep) (*report.Table, err
 		return renderReplication(sc.Name, sweeps), nil
 	case OutputGoodput:
 		return renderGoodput("", "", []string{sc.Name}, []*Sweep{sw})
+	case OutputUSL:
+		return renderUSLOutput(sc.Name, sw)
 	default:
 		return nil, fmt.Errorf("core: unknown output %q", out)
 	}
@@ -1079,6 +1146,12 @@ func renderReport(p *Plan, rs *ReportSpec, byName map[string]*ScenarioResult) (*
 	case ReportGoodput:
 		var err error
 		t, err = renderGoodput(rs.Title, rs.Note, picked, sweeps)
+		if err != nil {
+			return nil, err
+		}
+	case ReportUSL:
+		var err error
+		t, err = renderUSL(picked, sweeps)
 		if err != nil {
 			return nil, err
 		}

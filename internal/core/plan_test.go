@@ -127,6 +127,39 @@ func TestPlanValidate(t *testing.T) {
 		{"unknown override machine", func(p *Plan) {
 			p.Scenarios[1].Overrides = &ConfigOverrides{Machine: "vax-780"}
 		}, "unknown machine model"},
+		// Rejection messages must teach the schema: every "unknown X"
+		// error lists the valid values, sorted.
+		{"unknown output lists valid outputs", func(p *Plan) {
+			p.Scenarios[0].Outputs = []Output{"bogus"}
+		}, "(known: classification, factors, goodput, lifespan-cdf, replication, sweep, usl)"},
+		{"unknown kind lists valid kinds", func(p *Plan) {
+			p.Reports[0].Kind = "bogus"
+		}, "(known: classification, compare, factors, goodput, lifespan-cdf, mutator-gc, series, usl, work-distribution)"},
+		{"unknown metric lists valid metrics", func(p *Plan) {
+			p.Reports[0].Metric = "bogus"
+		}, "(known: acquisitions, cdf-below-1kb, contentions, gc-seconds, gc-share, mutator-seconds, total-seconds)"},
+		// The fitter needs fit.MinPoints sweep points; shorter sweeps must
+		// die at validation, not as NaN mid-plan.
+		{"usl output over short sweep", func(p *Plan) {
+			p.Scenarios[0].Outputs = []Output{OutputUSL} // plan sweeps only {2, 4}
+		}, "usl output needs at least"},
+		{"usl report over short sweep", func(p *Plan) {
+			p.Reports = append(p.Reports, ReportSpec{Name: "usl", Kind: ReportUSL,
+				Scenarios: []string{"base"}})
+		}, "separate contention from coherency"},
+		{"usl report over rate sweep", func(p *Plan) {
+			p.Scenarios = append(p.Scenarios, Scenario{Name: "open",
+				Workload: workload.NameRef("server"),
+				Traffic:  &TrafficSpec{Process: "poisson", Rates: []float64{100, 200}}})
+			p.Reports = append(p.Reports, ReportSpec{Name: "usl", Kind: ReportUSL,
+				Scenarios: []string{"open"}})
+		}, "reads thread sweeps"},
+		{"usl output on traffic scenario", func(p *Plan) {
+			p.Scenarios = append(p.Scenarios, Scenario{Name: "open",
+				Workload: workload.NameRef("server"),
+				Traffic:  &TrafficSpec{Process: "poisson", Rates: []float64{100, 200}},
+				Outputs:  []Output{OutputUSL}})
+		}, "Traffic scenarios render"},
 	}
 	for _, tc := range cases {
 		p := testPlan()
@@ -257,6 +290,20 @@ func TestPaperPlanShape(t *testing.T) {
 	}
 	if _, err := LoadPlan(bytes.NewReader(data)); err != nil {
 		t.Errorf("paper plan does not round-trip: %v", err)
+	}
+
+	// At three or more thread counts the plan grows the USL fit table;
+	// the two-count variant above must stay at the historical report set
+	// so its golden artifacts remain byte-identical.
+	p3 := PaperPlan(ExperimentConfig{ThreadCounts: []int{2, 4, 8}, Scale: 0.02, Seed: 1})
+	if err := p3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p3.Reports) != len(wantReports)+1 {
+		t.Fatalf("3-count reports = %d, want %d", len(p3.Reports), len(wantReports)+1)
+	}
+	if last := p3.Reports[len(p3.Reports)-1]; last.Name != "USLFitTable" || last.Kind != ReportUSL {
+		t.Errorf("3-count plan last report = %q kind %q, want USLFitTable/usl", last.Name, last.Kind)
 	}
 }
 

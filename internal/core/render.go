@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 
+	"javasim/internal/fit"
 	"javasim/internal/gc"
 	"javasim/internal/locks"
 	"javasim/internal/machine"
@@ -414,6 +416,91 @@ func renderGoodput(title, note string, labels []string, sweeps []*Sweep) (*repor
 				fmt.Sprintf("%d", st.QueueDepthMax))
 		}
 	}
+	return t, nil
+}
+
+// renderUSL builds the analytic-fit table, one row per labeled sweep:
+// the residual-selected model's fitted parameters, the predicted peak
+// concurrency, and the worst predicted-vs-measured deviation — the
+// cross-scenario shape of ROADMAP item 1's scalability diagnosis.
+// Sigma tracks the paper's lock-contention factors, kappa the
+// coherency-flavored ones (GC growth, memory bandwidth, placement), so
+// policy ablations should reorder sigma and machine ablations kappa.
+func renderUSL(labels []string, sweeps []*Sweep) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table — USL scalability fit, C(N) = N / (1 + sigma*(N-1) + kappa*N*(N-1))",
+		Headers: []string{"scenario", "model", "sigma", "kappa", "r2", "peak-N", "max-dev"},
+		Note:    "sigma = contention (lock serialization), kappa = coherency (GC/bandwidth/placement); model picked by residual, amdahl = no measurable coherency term; peak-N '-' = saturates without a finite peak",
+	}
+	for i, sw := range sweeps {
+		f, err := sw.FitUSL()
+		if err != nil {
+			return nil, fmt.Errorf("core: usl fit for %s: %w", labels[i], err)
+		}
+		m := f.Best()
+		peak := "-"
+		if n := m.PeakN(); n > 0 {
+			peak = fmt.Sprintf("%d", n)
+		}
+		t.AddRow(tagLabel(labels[i], sw), m.Kind,
+			fmt.Sprintf("%.4f", m.Sigma),
+			fmt.Sprintf("%.6f", m.Kappa),
+			fmt.Sprintf("%.4f", m.R2),
+			peak,
+			report.FormatPct(maxDeviation(sw, m)))
+	}
+	return t, nil
+}
+
+// maxDeviation is the largest relative predicted-vs-measured throughput
+// error of a fitted model across a sweep's points.
+func maxDeviation(sw *Sweep, m fit.Model) float64 {
+	xs := sw.Throughputs()
+	var worst float64
+	for i, p := range sw.Points {
+		if xs[i] <= 0 {
+			continue
+		}
+		if d := math.Abs(m.Predict(float64(p.Threads))-xs[i]) / xs[i]; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// renderUSLOutput builds one scenario's predicted-vs-measured curve:
+// the measured throughput at every thread count next to both fitted
+// models' predictions, with the preferred model's parameters and
+// predicted peak in the footnote.
+func renderUSLOutput(label string, sw *Sweep) (*report.Table, error) {
+	f, err := sw.FitUSL()
+	if err != nil {
+		return nil, fmt.Errorf("core: usl fit for %s: %w", label, err)
+	}
+	best := f.Best()
+	t := &report.Table{
+		Title:   fmt.Sprintf("USL fit — %s", tagLabel(label, sw)),
+		Headers: []string{"threads", "measured/s", "usl/s", "amdahl/s", "best-dev"},
+	}
+	xs := sw.Throughputs()
+	for i, p := range sw.Points {
+		n := float64(p.Threads)
+		dev := 0.0
+		if xs[i] > 0 {
+			dev = math.Abs(best.Predict(n)-xs[i]) / xs[i]
+		}
+		t.AddRow(fmt.Sprintf("%d", p.Threads),
+			fmt.Sprintf("%.1f", xs[i]),
+			fmt.Sprintf("%.1f", f.USL.Predict(n)),
+			fmt.Sprintf("%.1f", f.Amdahl.Predict(n)),
+			report.FormatPct(dev))
+	}
+	peak := "saturates without a finite peak"
+	if n := best.PeakN(); n > 0 {
+		peak = fmt.Sprintf("predicted peak N* = %d", n)
+	}
+	t.Note = fmt.Sprintf("preferred %s: sigma=%.4f kappa=%.6f r2=%.4f, %s",
+		best.Kind, best.Sigma, best.Kappa, best.R2, peak)
 	return t, nil
 }
 

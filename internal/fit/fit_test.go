@@ -1,0 +1,264 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// synth generates a clean USL curve at the given thread counts.
+func synth(threads []int, lambda, sigma, kappa float64) []Point {
+	pts := make([]Point, len(threads))
+	for i, t := range threads {
+		n := float64(t)
+		pts[i] = Point{N: n, X: lambda * n / (1 + sigma*(n-1) + kappa*n*(n-1))}
+	}
+	return pts
+}
+
+var sweepN = []int{1, 2, 4, 8, 16, 32, 64}
+
+// TestRecoveryGrid is the core property test: the fitter must recover
+// known (sigma, kappa) — including the sigma=0 and kappa=0 edges — from
+// clean synthetic curves, with R^2 ~= 1.
+func TestRecoveryGrid(t *testing.T) {
+	sigmas := []float64{0, 0.005, 0.02, 0.08, 0.2, 0.5}
+	kappas := []float64{0, 1e-5, 1e-4, 1e-3, 5e-3}
+	lambdas := []float64{1, 37.5, 1e4}
+	for _, lambda := range lambdas {
+		for _, sigma := range sigmas {
+			for _, kappa := range kappas {
+				pts := synth(sweepN, lambda, sigma, kappa)
+				m, err := USL(pts)
+				if err != nil {
+					t.Fatalf("USL(lambda=%g sigma=%g kappa=%g): %v", lambda, sigma, kappa, err)
+				}
+				if math.Abs(m.Sigma-sigma) > 1e-4+0.01*sigma {
+					t.Errorf("lambda=%g sigma=%g kappa=%g: fitted sigma %g", lambda, sigma, kappa, m.Sigma)
+				}
+				if math.Abs(m.Kappa-kappa) > 1e-6+0.01*kappa {
+					t.Errorf("lambda=%g sigma=%g kappa=%g: fitted kappa %g", lambda, sigma, kappa, m.Kappa)
+				}
+				if relErr := math.Abs(m.Lambda-lambda) / lambda; relErr > 1e-3 {
+					t.Errorf("lambda=%g sigma=%g kappa=%g: fitted lambda %g", lambda, sigma, kappa, m.Lambda)
+				}
+				if m.R2 < 0.9999 {
+					t.Errorf("lambda=%g sigma=%g kappa=%g: R2 %g on clean data", lambda, sigma, kappa, m.R2)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoveryNoisy perturbs clean curves with bounded multiplicative
+// noise from a fixed-seed generator; recovery must stay within a loose
+// tolerance and R^2 must stay high.
+func TestRecoveryNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	cases := []struct{ sigma, kappa float64 }{
+		{0.02, 5e-4}, {0.1, 1e-3}, {0, 2e-3}, {0.05, 0},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 5; trial++ {
+			pts := synth(sweepN, 100, c.sigma, c.kappa)
+			for i := range pts {
+				pts[i].X *= 1 + 0.02*(2*rng.Float64()-1)
+			}
+			m, err := USL(pts)
+			if err != nil {
+				t.Fatalf("USL(sigma=%g kappa=%g noisy): %v", c.sigma, c.kappa, err)
+			}
+			if math.Abs(m.Sigma-c.sigma) > 0.05 {
+				t.Errorf("sigma=%g kappa=%g trial %d: fitted sigma %g", c.sigma, c.kappa, trial, m.Sigma)
+			}
+			if math.Abs(m.Kappa-c.kappa) > 1e-3 {
+				t.Errorf("sigma=%g kappa=%g trial %d: fitted kappa %g", c.sigma, c.kappa, trial, m.Kappa)
+			}
+			if m.R2 < 0.95 {
+				t.Errorf("sigma=%g kappa=%g trial %d: R2 %g", c.sigma, c.kappa, trial, m.R2)
+			}
+		}
+	}
+}
+
+// TestModelSelection: a pure-Amdahl curve must not grow a spurious
+// coherency term, and a strongly retrograde curve must prefer USL.
+func TestModelSelection(t *testing.T) {
+	f, err := Both(synth(sweepN, 50, 0.1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Preferred != KindAmdahl {
+		t.Errorf("kappa=0 curve preferred %q (usl kappa %g, sse %g vs amdahl %g)",
+			f.Preferred, f.USL.Kappa, f.USL.SSE, f.Amdahl.SSE)
+	}
+	if f.Best().Kind != KindAmdahl {
+		t.Errorf("Best() = %q, want amdahl", f.Best().Kind)
+	}
+
+	f, err = Both(synth(sweepN, 50, 0.05, 2e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Preferred != KindUSL {
+		t.Errorf("retrograde curve preferred %q (usl sse %g vs amdahl %g)",
+			f.Preferred, f.USL.SSE, f.Amdahl.SSE)
+	}
+	if f.Best().Kind != KindUSL {
+		t.Errorf("Best() = %q, want usl", f.Best().Kind)
+	}
+}
+
+// TestPeakN checks the closed-form peak against the fitted curve: the
+// model's own predictions must not keep rising past the reported peak.
+func TestPeakN(t *testing.T) {
+	m, err := USL(synth(sweepN, 80, 0.03, 1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := m.PeakN()
+	want := int(math.Floor(math.Sqrt((1 - 0.03) / 1e-3)))
+	if peak != want {
+		t.Errorf("PeakN = %d, want %d", peak, want)
+	}
+	p := float64(peak)
+	if m.Predict(p+1) > m.Predict(p) && m.Predict(p+1) > m.Predict(p-1) {
+		t.Errorf("throughput still rising past reported peak %d", peak)
+	}
+
+	if got := (Model{Kappa: 0}).PeakN(); got != 0 {
+		t.Errorf("PeakN with kappa=0 = %d, want 0 (no finite peak)", got)
+	}
+	if got := (Model{Sigma: 1.5, Kappa: 1e-3}).PeakN(); got != 1 {
+		t.Errorf("PeakN with sigma>=1 = %d, want 1", got)
+	}
+	if got := (Model{Sigma: 0.9999, Kappa: 10}.PeakN()); got != 1 {
+		t.Errorf("PeakN floor = %d, want 1", got)
+	}
+}
+
+// TestDeterminism: equal inputs must produce bit-equal fits.
+func TestDeterminism(t *testing.T) {
+	pts := synth(sweepN, 42, 0.07, 3e-4)
+	a, err := Both(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Both(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("two fits of the same sweep differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []Point
+		want string
+	}{
+		{"too few", synth([]int{4, 8}, 10, 0.1, 0), "at least 3 sweep points"},
+		{"empty", nil, "at least 3 sweep points"},
+		{"non-ascending", []Point{{1, 1}, {4, 3}, {4, 3.5}}, "strictly ascending"},
+		{"descending", []Point{{8, 5}, {4, 3}, {2, 2}}, "strictly ascending"},
+		{"zero N", []Point{{0, 1}, {2, 2}, {4, 3}}, "positive finite count"},
+		{"negative N", []Point{{-1, 1}, {2, 2}, {4, 3}}, "positive finite count"},
+		{"NaN N", []Point{{math.NaN(), 1}, {2, 2}, {4, 3}}, "positive finite count"},
+		{"zero X", []Point{{1, 0}, {2, 2}, {4, 3}}, "positive finite rate"},
+		{"NaN X", []Point{{1, 1}, {2, math.NaN()}, {4, 3}}, "positive finite rate"},
+		{"Inf X", []Point{{1, 1}, {2, 2}, {4, math.Inf(1)}}, "positive finite rate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Validate(c.pts)
+			if err == nil {
+				t.Fatalf("Validate(%v) accepted invalid points", c.pts)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+			if _, err := USL(c.pts); err == nil {
+				t.Errorf("USL accepted invalid points")
+			}
+			if _, err := Amdahl(c.pts); err == nil {
+				t.Errorf("Amdahl accepted invalid points")
+			}
+			if _, err := Both(c.pts); err == nil {
+				t.Errorf("Both accepted invalid points")
+			}
+		})
+	}
+}
+
+func TestSeries(t *testing.T) {
+	pts, err := Series([]int{2, 4, 8}, []float64{10, 18, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[1] != (Point{4, 18}) {
+		t.Errorf("Series points = %v", pts)
+	}
+	if _, err := Series([]int{2, 4}, []float64{10}); err == nil {
+		t.Error("Series accepted mismatched lengths")
+	}
+	if _, err := Series([]int{2, 4}, []float64{10, 18}); err == nil {
+		t.Error("Series accepted a 2-point sweep")
+	}
+}
+
+// TestFlatSweep: a constant-throughput sweep (full serialization at
+// sigma=1) must fit without NaN and report a saturating model.
+func TestFlatSweep(t *testing.T) {
+	pts := []Point{{1, 10}, {2, 10}, {4, 10}, {8, 10}, {16, 10}}
+	f, err := Both(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Best()
+	if math.IsNaN(m.Sigma) || math.IsNaN(m.Kappa) || math.IsNaN(m.Lambda) || math.IsNaN(m.R2) {
+		t.Fatalf("flat sweep produced NaN: %+v", m)
+	}
+	if math.Abs(m.Sigma-1) > 0.01 {
+		t.Errorf("flat sweep fitted sigma %g, want ~1", m.Sigma)
+	}
+	if m.R2 < 0.99 {
+		t.Errorf("flat sweep R2 %g", m.R2)
+	}
+}
+
+// TestLinearSweep: perfect linear scaling must fit sigma ~= kappa ~= 0.
+func TestLinearSweep(t *testing.T) {
+	f, err := Both(synth(sweepN, 7, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Best()
+	if m.Sigma > 1e-6 || m.Kappa > 1e-9 {
+		t.Errorf("linear sweep fitted sigma=%g kappa=%g", m.Sigma, m.Kappa)
+	}
+	if f.Preferred != KindAmdahl {
+		t.Errorf("linear sweep preferred %q", f.Preferred)
+	}
+	if m.R2 < 0.9999 {
+		t.Errorf("linear sweep R2 %g", m.R2)
+	}
+}
+
+// TestPredictMatchesInput: on clean data the preferred model's
+// predictions reproduce every input point to high relative accuracy.
+func TestPredictMatchesInput(t *testing.T) {
+	pts := synth(sweepN, 123, 0.04, 8e-4)
+	f, err := Both(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Best()
+	for _, p := range pts {
+		if rel := math.Abs(m.Predict(p.N)-p.X) / p.X; rel > 1e-3 {
+			t.Errorf("Predict(%v) = %g, measured %g (rel %g)", p.N, m.Predict(p.N), p.X, rel)
+		}
+	}
+}

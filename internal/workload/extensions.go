@@ -47,6 +47,25 @@ func ServerSpec() Spec {
 	}
 }
 
+// ServerContendedSpec is the server model with the hot-lock pressure of
+// the open-system studies in closed-loop form: one shared monitor, a
+// longer hold, and a 5µs contended-unpark round trip billed per
+// contention event (ContentionCost — zero in the base server model, so
+// that model stays seed-identical to its pre-traffic calibration). Lock
+// disciplines that avoid contention events — Dice & Kogan's restricted
+// policy above all — buy back real time here, which is what makes the
+// policy ablation visible to the analytic USL fit: restricted should
+// fit a lower sigma than fifo.
+func ServerContendedSpec() Spec {
+	s := ServerSpec()
+	s.Name = "server-contended"
+	s.SharedLocks = 1
+	s.LockOpsPerUnit = 2.0
+	s.LockHold = 2 * sim.Microsecond
+	s.ContentionCost = 5 * sim.Microsecond
+	return s
+}
+
 // Extensions returns the registered workloads that extend the paper's
 // set: the bundled models beyond the six benchmarks plus any user
 // registrations.

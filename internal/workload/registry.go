@@ -27,7 +27,7 @@ func init() {
 	for _, s := range []Spec{
 		SunflowSpec(), LusearchSpec(), XalanSpec(),
 		H2Spec(), EclipseSpec(), JythonSpec(),
-		ServerSpec(),
+		ServerSpec(), ServerContendedSpec(),
 	} {
 		MustRegister(s)
 	}

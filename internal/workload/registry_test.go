@@ -9,7 +9,7 @@ import (
 
 func TestRegistryBuiltins(t *testing.T) {
 	names := Names()
-	want := []string{"sunflow", "lusearch", "xalan", "h2", "eclipse", "jython", "server"}
+	want := []string{"sunflow", "lusearch", "xalan", "h2", "eclipse", "jython", "server", "server-contended"}
 	for i, w := range want {
 		if i >= len(names) || names[i] != w {
 			t.Fatalf("Names() = %v, want prefix %v", names, want)

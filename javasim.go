@@ -88,6 +88,7 @@ import (
 	"io"
 
 	"javasim/internal/core"
+	"javasim/internal/fit"
 	"javasim/internal/gc"
 	"javasim/internal/lockprof"
 	"javasim/internal/locks"
@@ -217,6 +218,7 @@ const (
 	OutputLifespanCDF    = core.OutputLifespanCDF
 	OutputReplication    = core.OutputReplication
 	OutputGoodput        = core.OutputGoodput
+	OutputUSL            = core.OutputUSL
 )
 
 // Cross-scenario report kinds.
@@ -229,6 +231,7 @@ const (
 	ReportFactors          = core.ReportFactors
 	ReportCompare          = core.ReportCompare
 	ReportGoodput          = core.ReportGoodput
+	ReportUSL              = core.ReportUSL
 )
 
 // Series metrics.
@@ -284,6 +287,51 @@ type (
 	// MemoryTrace buffers trace events in memory.
 	MemoryTrace = trace.MemorySink
 )
+
+// Analytic scalability-fitting types. The fit package least-squares-fits
+// Gunther's Universal Scalability Law C(N) = N / (1 + σ(N−1) + κN(N−1))
+// and the Amdahl special case (κ = 0) to any (concurrency, throughput)
+// sweep, separating contention cost (σ — what the paper ablates with
+// lock disciplines) from coherency cost (κ — the GC/bandwidth/placement
+// flavored losses). Sweep.FitUSL fits a simulated sweep directly, and
+// the "usl" report kind (ReportUSL / OutputUSL) renders fits inside
+// plans.
+type (
+	// USLFit is a complete fitting result: the USL and Amdahl models
+	// plus the residual-based choice between them.
+	USLFit = fit.Fit
+	// USLModel is one fitted scalability law: sigma, kappa, the
+	// throughput scale, R^2, and the predicted peak via PeakN.
+	USLModel = fit.Model
+	// FitPoint is one measured (concurrency, throughput) observation.
+	FitPoint = fit.Point
+)
+
+// Fitted model kinds reported in USLFit.Preferred and USLModel.Kind.
+const (
+	// USLKind marks the full two-parameter law (sigma and kappa free).
+	USLKind = fit.KindUSL
+	// AmdahlKind marks the contention-only special case (kappa = 0).
+	AmdahlKind = fit.KindAmdahl
+)
+
+// MinFitPoints is the smallest sweep the fitter accepts: with two shape
+// parameters plus the throughput scale, fewer than three points is an
+// interpolation, not a fit.
+const MinFitPoints = fit.MinPoints
+
+// FitUSL fits the Universal Scalability Law and the Amdahl special case
+// to a measured (concurrency, throughput) series and selects between
+// them by residual. Points must be strictly ascending in concurrency
+// with positive finite throughput, and at least MinFitPoints long.
+// Fitting is fully deterministic: equal inputs produce bit-equal fits.
+func FitUSL(pts []FitPoint) (USLFit, error) { return fit.Both(pts) }
+
+// FitSeries pairs a thread-count sweep with its measured throughputs as
+// fit points, validating them for FitUSL.
+func FitSeries(threads []int, throughput []float64) ([]FitPoint, error) {
+	return fit.Series(threads, throughput)
+}
 
 // DefaultThreadCounts is the paper's sweep: 4 to 48 threads with cores =
 // threads.

@@ -192,10 +192,28 @@ func TestFacadePolicyPlanFile(t *testing.T) {
 		t.Errorf("restricted ContentionGrowth %.2fx >= fifo %.2fx", rg, fg)
 	}
 
-	var compare *javasim.Table
+	// The analytic cross-check the plan's usl-by-policy report makes: the
+	// fitted USL contention coefficient must rank the policies the same
+	// way the raw contention counters do.
+	fifoFit, err := fifo.FitUSL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restrFit, err := restricted.FitUSL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs, fs := restrFit.Best().Sigma, fifoFit.Best().Sigma; rs >= fs {
+		t.Errorf("restricted fitted sigma %.4f >= fifo %.4f", rs, fs)
+	}
+
+	var compare, uslTable *javasim.Table
 	for _, tb := range pr.Reports {
 		if strings.Contains(tb.Title, "Concurrency restriction") {
 			compare = tb
+		}
+		if strings.Contains(tb.Title, "USL scalability fit") {
+			uslTable = tb
 		}
 	}
 	if compare == nil {
@@ -203,6 +221,13 @@ func TestFacadePolicyPlanFile(t *testing.T) {
 	}
 	if compare.Headers[2] != "modified [restricted]" {
 		t.Errorf("compare header = %q, want policy label", compare.Headers[2])
+	}
+	if uslTable == nil {
+		t.Fatal("usl-by-policy report missing")
+	}
+	if len(uslTable.Rows) != 4 || uslTable.Headers[2] != "sigma" {
+		t.Errorf("usl table shape: %d rows, header[2]=%q; want 4 rows with a sigma column",
+			len(uslTable.Rows), uslTable.Headers[2])
 	}
 }
 
