@@ -193,6 +193,33 @@ func BenchmarkVMRun(b *testing.B) {
 	b.ReportMetric(virtualNS, "virtual-ns/run")
 }
 
+// BenchmarkSweepWarmStart measures what warm-start snapshots buy a
+// sweep: the same three-point thread sweep cold (DisableSnapshot: every
+// point regenerates its workload units from scratch) and warm (every
+// point forks from one shared pre-generated tape). Engines are uncached
+// so each iteration simulates every point; warm must beat cold.
+func BenchmarkSweepWarmStart(b *testing.B) {
+	spec, _ := javasim.LookupWorkload("xalan")
+	spec = spec.Scale(0.1)
+	sweep := func(disable bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := javasim.NewEngine(javasim.WithCache(0))
+				_, err := eng.Sweep(benchCtx, spec, javasim.SweepConfig{
+					ThreadCounts: []int{2, 8, 32},
+					Base:         javasim.Config{Seed: 42, DisableSnapshot: disable},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("cold", sweep(true))
+	b.Run("warm", sweep(false))
+}
+
 // BenchmarkVMRunManycore exercises the full 48-core configuration.
 func BenchmarkVMRunManycore(b *testing.B) {
 	b.ReportAllocs()

@@ -8,11 +8,15 @@
 //
 //	go run ./cmd/benchreport -out BENCH_5.json -bench 'BenchmarkVMRun' -benchtime 3x .
 //	go run ./cmd/benchreport -baseline BENCH_4.json -out BENCH_5.json ./...
+//	go run ./cmd/benchreport -baseline BENCH_5.json,BENCH_8.json -out BENCH_10.json ./...
 //
 // The positional arguments are the packages to benchmark (default ./...).
-// With -baseline, the previous report's measurements are embedded under
-// "baseline" and per-benchmark deltas are printed, so a report is both a
-// snapshot and a comparison. -max-ns-regress and -max-allocs-regress turn
+// -baseline takes one or more previous reports, comma-separated in
+// oldest-to-newest order. The newest is embedded under "baseline" and is
+// what the regression gate compares against; all of them are embedded
+// under "trajectory" and printed as a per-benchmark delta table, so a
+// report shows the whole optimization arc (BENCH_5 -> BENCH_8 -> now),
+// not just the last hop. -max-ns-regress and -max-allocs-regress turn
 // the comparison into a gate: the command exits non-zero when any
 // benchmark regresses past the percentage ceiling, which is how CI holds
 // the perf trajectory (allocations are deterministic, so their ceiling
@@ -43,7 +47,7 @@ type Measurement struct {
 }
 
 // Report is the file format: a schema tag, the toolchain, the
-// measurements, and optionally the previous report's measurements for
+// measurements, and optionally previous reports' measurements for
 // trajectory comparisons.
 type Report struct {
 	Schema     string                 `json:"schema"`
@@ -52,7 +56,18 @@ type Report struct {
 	GOARCH     string                 `json:"goarch"`
 	BenchTime  string                 `json:"bench_time"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
-	Baseline   map[string]Measurement `json:"baseline,omitempty"`
+	// Baseline holds the newest prior report's measurements — the gate's
+	// comparison point.
+	Baseline map[string]Measurement `json:"baseline,omitempty"`
+	// Trajectory holds every prior report passed to -baseline, oldest
+	// first, so the file records the optimization arc across PRs.
+	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
+}
+
+// TrajectoryPoint is one prior report in the perf trajectory.
+type TrajectoryPoint struct {
+	Source     string                 `json:"source"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
 }
 
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
@@ -61,7 +76,8 @@ func main() {
 	out := flag.String("out", "BENCH_5.json", "output report path")
 	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
-	baseline := flag.String("baseline", "", "previous report to embed as the comparison baseline")
+	baseline := flag.String("baseline", "",
+		"previous report(s) to compare against, comma-separated oldest first; the newest gates")
 	maxNs := flag.Float64("max-ns-regress", -1,
 		"with -baseline: fail when a benchmark's ns/op regresses more than this percentage (negative disables)")
 	maxAllocs := flag.Float64("max-allocs-regress", -1,
@@ -102,13 +118,24 @@ func main() {
 	}
 
 	if *baseline != "" {
-		prev, err := readReport(*baseline)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchreport: baseline: %v\n", err)
+		for _, path := range strings.Split(*baseline, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			prev, err := readReport(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: baseline: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Trajectory = append(rep.Trajectory, TrajectoryPoint{Source: path, Benchmarks: prev.Benchmarks})
+		}
+		if len(rep.Trajectory) == 0 {
+			fmt.Fprintln(os.Stderr, "benchreport: -baseline named no readable reports")
 			os.Exit(1)
 		}
-		rep.Baseline = prev.Benchmarks
-		printDeltas(rep)
+		rep.Baseline = rep.Trajectory[len(rep.Trajectory)-1].Benchmarks
+		printTrajectory(rep)
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -142,7 +169,16 @@ func gate(rep Report, maxNs, maxAllocs float64) []string {
 			continue
 		}
 		check := func(axis string, b, c, ceiling float64) {
-			if ceiling < 0 || b == 0 {
+			if ceiling < 0 {
+				return
+			}
+			if b == 0 {
+				// A zero baseline is a pinned invariant (e.g. a benchmark
+				// holding 0 allocs/op): any increase is a regression, since
+				// no percentage ceiling can be computed from zero.
+				if c > 0 {
+					bad = append(bad, fmt.Sprintf("%s %s 0 -> %.0f (was pinned at zero)", name, axis, c))
+				}
 				return
 			}
 			if pct := 100 * (c - b) / b; pct > ceiling {
@@ -204,22 +240,46 @@ func readReport(path string) (Report, error) {
 	return r, nil
 }
 
-// printDeltas prints per-benchmark movement against the baseline for the
-// two regression-relevant axes: time and allocations.
-func printDeltas(rep Report) {
-	for name, cur := range rep.Benchmarks {
-		base, ok := rep.Baseline[name]
-		if !ok {
-			continue
+// printTrajectory prints, per benchmark and axis, the measurement chain
+// across every baseline plus the current run, with the percentage
+// movement against the newest baseline — the axis the gate judges.
+func printTrajectory(rep Report) {
+	names := make([]string, 0, len(rep.Benchmarks))
+	for name := range rep.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	last := rep.Trajectory[len(rep.Trajectory)-1]
+	for _, axis := range []struct {
+		label string
+		pick  func(Measurement) float64
+	}{
+		{"ns/op", func(m Measurement) float64 { return m.NsPerOp }},
+		{"allocs/op", func(m Measurement) float64 { return m.AllocsPerOp }},
+	} {
+		fmt.Printf("trajectory (%s):\n", axis.label)
+		for _, name := range names {
+			cur := axis.pick(rep.Benchmarks[name])
+			chain := make([]string, 0, len(rep.Trajectory)+1)
+			for _, pt := range rep.Trajectory {
+				if base, ok := pt.Benchmarks[name]; ok {
+					chain = append(chain, fmt.Sprintf("%.0f", axis.pick(base)))
+				} else {
+					chain = append(chain, "-")
+				}
+			}
+			chain = append(chain, fmt.Sprintf("%.0f", cur))
+			tail := "(new)"
+			if base, ok := last.Benchmarks[name]; ok {
+				if b := axis.pick(base); b != 0 {
+					tail = fmt.Sprintf("(%+.1f%% vs %s)", 100*(cur-b)/b, last.Source)
+				} else if cur == 0 {
+					tail = "(0, unchanged)"
+				} else {
+					tail = fmt.Sprintf("(regressed from 0 in %s)", last.Source)
+				}
+			}
+			fmt.Printf("  %-36s %s  %s\n", name, strings.Join(chain, " -> "), tail)
 		}
-		fmt.Printf("%-40s ns/op %s   allocs/op %s\n",
-			name, delta(base.NsPerOp, cur.NsPerOp), delta(base.AllocsPerOp, cur.AllocsPerOp))
 	}
-}
-
-func delta(base, cur float64) string {
-	if base == 0 {
-		return fmt.Sprintf("%.0f (new)", cur)
-	}
-	return fmt.Sprintf("%.0f -> %.0f (%+.1f%%)", base, cur, 100*(cur-base)/base)
 }

@@ -349,6 +349,20 @@ func (e *Engine) Sweep(ctx context.Context, spec workload.Spec, cfg SweepConfig)
 	if open {
 		n = len(cfg.Rates)
 	}
+	// Warm-start: every point of the sweep forks its workload generation
+	// from one shared snapshot (pre-generated unit tapes) instead of
+	// re-deriving the same draws per thread count or rate — see
+	// vm.Snapshot. The snapshot rides the context, never the config, so
+	// cache keys and disk fingerprints are identical to cold runs; the
+	// lazy provider resolves on the first point that actually simulates,
+	// so fully cached sweeps never pay the tape build.
+	if !cfg.Base.DisableSnapshot {
+		scfg := cfg.Base
+		if scfg.Seed == 0 {
+			scfg.Seed = e.seed
+		}
+		ctx = vm.ContextWithSnapshotProvider(ctx, vm.NewSnapshotProvider(spec, scfg))
+	}
 	results := make([]*vm.Result, n)
 	errs := make([]error, n)
 	runPoint := func(i int) {

@@ -450,6 +450,66 @@ func TestWorkerProtocolMatchesInProcess(t *testing.T) {
 	}
 }
 
+// TestServeRePostSnapshotStoreHit pins the warm-start store contract:
+// results produced down the snapshot path (sharded workers with their
+// per-worker tape cache) must land in the content-addressed store under
+// the same fingerprints cold runs would use, so a re-POST of the plan to
+// a fresh daemon over the same store is answered entirely from disk —
+// zero engine misses, zero simulations.
+func TestServeRePostSnapshotStoreHit(t *testing.T) {
+	dir := t.TempDir()
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := startPipeWorkers(t, 2)
+	eng1 := core.NewEngine(core.WithDiskStore(st1), core.WithRunner(pool.Run))
+	srv1, ts1 := newTestServer(t, Options{Engine: eng1, Store: st1})
+	j := submit(t, ts1.URL, testPlan)
+	_, terminal := consumeSSE(t, ts1.URL, j.ID)
+	if terminal.State != StateDone || terminal.Simulated != testPlanPoints {
+		t.Fatalf("sharded warm run: %+v", terminal)
+	}
+	text1 := artifactsText(t, ts1.URL, j.ID)
+	// The worker-warm results must render exactly what a fresh in-process
+	// engine produces — snapshots change no bytes anywhere.
+	if ref := renderCLI(t, testPlan); text1 != ref {
+		t.Errorf("worker snapshot-path artifacts diverge from in-process rendering:\n--- daemon ---\n%s\n--- cli ---\n%s", text1, ref)
+	}
+	if err := srv1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-POST to a fresh daemon over the same store directory: every
+	// point must be a disk hit under the cold fingerprint.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	eng2 := core.NewEngine(core.WithDiskStore(st2))
+	_, ts2 := newTestServer(t, Options{Engine: eng2, Store: st2})
+	j2 := submit(t, ts2.URL, testPlan)
+	_, terminal2 := consumeSSE(t, ts2.URL, j2.ID)
+	if terminal2.State != StateDone {
+		t.Fatalf("re-POST run: %+v", terminal2)
+	}
+	if terminal2.Simulated != 0 {
+		t.Errorf("re-POST simulated %d points, want 0 (all snapshot-path results from disk)", terminal2.Simulated)
+	}
+	if cs := eng2.CacheStats(); cs.Misses != 0 || cs.DiskHits == 0 {
+		t.Errorf("re-POST: CacheStats = %+v, want Misses 0 and DiskHits > 0", cs)
+	}
+	if text2 := artifactsText(t, ts2.URL, j2.ID); text2 != text1 {
+		t.Errorf("artifacts replayed from the store diverge from the snapshot-path originals")
+	}
+}
+
 func TestWorkerErrorPropagates(t *testing.T) {
 	pool := startPipeWorkers(t, 1)
 	spec, _ := workload.Lookup("xalan")

@@ -45,6 +45,18 @@ type workResponse struct {
 func RunWorker(ctx context.Context, r io.Reader, w io.Writer) error {
 	dec := json.NewDecoder(r)
 	enc := json.NewEncoder(w)
+	// Per-worker warm-start cache. Sweep points shard to workers by
+	// fingerprint, so one worker serves many points of the same sweep
+	// back to back; building the workload tape once per (spec, seed) and
+	// replaying it for every later point mirrors Engine.Sweep's
+	// in-process warm start. A context snapshot never changes results or
+	// fingerprints, so warm worker results land in — and re-POSTed plans
+	// hit — exactly the store entries cold runs would write.
+	type snapKey struct {
+		spec workload.Spec
+		seed uint64
+	}
+	snaps := make(map[snapKey]*vm.Snapshot)
 	for {
 		var req workRequest
 		if err := dec.Decode(&req); err != nil {
@@ -56,8 +68,23 @@ func RunWorker(ctx context.Context, r io.Reader, w io.Writer) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		runCtx := ctx
+		if !req.Config.DisableSnapshot {
+			key := snapKey{spec: req.Spec, seed: req.Config.Canonical().Seed}
+			snap, ok := snaps[key]
+			if !ok {
+				snap, _ = vm.NewSnapshot(req.Spec, req.Config) // nil on bad spec: run cold
+				if len(snaps) >= 8 {
+					// Cheap pressure valve; concurrent plans rarely
+					// interleave more sweeps than this on one worker.
+					clear(snaps)
+				}
+				snaps[key] = snap
+			}
+			runCtx = vm.ContextWithSnapshot(ctx, snap)
+		}
 		var resp workResponse
-		res, err := vm.RunContext(ctx, req.Spec, req.Config)
+		res, err := vm.RunContext(runCtx, req.Spec, req.Config)
 		if err != nil {
 			resp.Error = err.Error()
 		} else {

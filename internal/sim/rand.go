@@ -56,6 +56,17 @@ func (r *Rand) Fork(label uint64) *Rand {
 	return child
 }
 
+// Clone returns an independent generator positioned at exactly the same
+// point in the stream: the clone and the original produce identical
+// future draws, then diverge as each is advanced separately. Snapshots
+// use this to capture a stream's position so replayed runs can resume
+// live drawing bit-identically to a run that never replayed.
+func (r *Rand) Clone() *Rand {
+	c := &Rand{}
+	c.s = r.s
+	return c
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits (xoshiro256**).
@@ -201,6 +212,12 @@ func NewZipf(r *Rand, n int, s float64) *Zipf {
 		cdf[i] /= sum
 	}
 	return &Zipf{cdf: cdf, r: r}
+}
+
+// Clone returns a sampler sharing the immutable CDF but drawing from an
+// independent clone of the underlying stream, positioned identically.
+func (z *Zipf) Clone() *Zipf {
+	return &Zipf{cdf: z.cdf, r: z.r.Clone()}
 }
 
 // Next returns the next rank.

@@ -71,6 +71,10 @@ func (v *vm) startNextIteration() {
 		v.fail(fmt.Errorf("vm: iteration %d setup: %w", v.iteration, err))
 		return
 	}
+	run.ReuseUnitBuffers()
+	if v.snap != nil && v.iteration < len(v.snap.tapes) {
+		run.AttachTape(v.snap.tapes[v.iteration])
+	}
 	v.run = run
 	v.currentPhase = 0
 	v.barArrived = 0

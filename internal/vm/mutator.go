@@ -43,9 +43,7 @@ func (v *vm) fetchWork(m *mutator) {
 	}
 	if v.queueLock != nil {
 		// Shared work queue: dequeue under the queue lock.
-		v.acquireThen(m, v.queueLock, v.spec.QueueLockHold, func() {
-			v.takeUnit(m)
-		})
+		v.acquireThen(m, v.queueLock, v.spec.QueueLockHold, m.takeUnitFn)
 		return
 	}
 	v.takeUnit(m)
@@ -199,60 +197,94 @@ func (v *vm) setMutatorState(m *mutator, s mutatorState) {
 
 // acquireThen takes mon for m (blocking on contention), holds it for hold
 // of CPU time, releases, then continues with then.
+//
+// The acquisition in flight is described by per-mutator fields (atMon,
+// atHold, atThen, acqMon, acqOwned) consumed by pre-bound continuations
+// rather than captured by per-call closures: a mutator drives at most one
+// acquisition at a time, and while it is parked or holding it executes
+// nothing else, so the fields cannot be clobbered before their
+// continuation reads them. This keeps the lock round trip — the VM's
+// hottest allocation site before this change — closure-free.
 func (v *vm) acquireThen(m *mutator, mon *locks.Monitor, hold sim.Time, then func()) {
-	v.acquireOwned(m, mon, func() {
-		v.sched.Submit(m.th, hold, func() {
-			v.releaseMonitor(m, mon)
-			then()
-		})
-	})
+	m.atMon, m.atHold, m.atThen = mon, hold, then
+	v.acquireOwned(m, mon, m.atOwnedFn)
+}
+
+// atOwned runs when acquireThen's monitor is held: spend the hold as a
+// CPU segment, then release and continue.
+func (v *vm) atOwned(m *mutator) {
+	v.sched.Submit(m.th, m.atHold, m.atReleaseFn)
+}
+
+// atRelease ends acquireThen's critical section. The fields clear before
+// the continuation runs, because then() frequently starts the mutator's
+// next acquireThen (barrier polling chains).
+func (v *vm) atRelease(m *mutator) {
+	mon, then := m.atMon, m.atThen
+	m.atMon, m.atThen = nil, nil
+	v.releaseMonitor(m, mon)
+	then()
 }
 
 // acquireOwned takes mon for m and calls owned once the monitor is held.
 // The contention policy decides the contended path: park until a handoff
-// or competitive wakeup, or spin a CPU budget and retry.
+// or competitive wakeup, or spin a CPU budget and retry. owned must be a
+// pre-bound per-mutator continuation (stepFn, atOwnedFn) so the
+// acquisition captures no closure.
 func (v *vm) acquireOwned(m *mutator, mon *locks.Monitor, owned func()) {
-	v.attemptAcquire(m, mon, owned, false)
+	m.acqMon, m.acqOwned = mon, owned
+	v.attemptAcquire(m, false)
 }
 
 // attemptAcquire drives one acquisition attempt (or, with retry set, a
-// re-attempt after a spin or competitive wakeup) to rest: owned runs once
-// the monitor is held; a Spinning outcome burns the policy's budget as a
-// CPU segment — charged to mutator time, like a real busy-wait — before
-// retrying; a Parked outcome blocks the thread until releaseMonitor
-// either grants it the monitor (resume) or wakes it to race (lockRetry).
-func (v *vm) attemptAcquire(m *mutator, mon *locks.Monitor, owned func(), retry bool) {
+// re-attempt after a spin or competitive wakeup) to rest: acqOwned runs
+// once the monitor is held; a Spinning outcome burns the policy's budget
+// as a CPU segment — charged to mutator time, like a real busy-wait —
+// before retrying; a Parked outcome blocks the thread until
+// releaseMonitor either grants it the monitor (resume) or wakes it to
+// race (lockRetry). The wake continuations read m.acqMon/m.acqOwned at
+// wake time; a parked mutator runs nothing, so they are exactly the
+// values this attempt stored.
+func (v *vm) attemptAcquire(m *mutator, retry bool) {
 	tid := locks.ThreadID(m.idx)
 	now := v.sim.Now()
 	var out locks.Outcome
 	if retry {
-		out = v.locks.Retry(mon, tid, now)
+		out = v.locks.Retry(m.acqMon, tid, now)
 	} else {
-		out = v.locks.Acquire(mon, tid, now)
+		out = v.locks.Acquire(m.acqMon, tid, now)
 	}
 	switch out.Kind {
 	case locks.Acquired:
-		owned()
+		m.acqOwned()
 	case locks.Spinning:
-		v.sched.Submit(m.th, out.Spin, func() { v.attemptAcquire(m, mon, owned, true) })
+		v.sched.Submit(m.th, out.Spin, m.spinRetryFn)
 	case locks.Parked:
 		m.parkedContended = out.Contended
 		v.setMutatorState(m, stLockWait)
-		m.resume = func() {
-			m.resume, m.lockRetry = nil, nil
-			v.setMutatorState(m, stRunning)
-			owned()
-		}
-		m.lockRetry = func() {
-			m.resume, m.lockRetry = nil, nil
-			v.setMutatorState(m, stRunning)
-			v.attemptAcquire(m, mon, owned, true)
-		}
+		m.resume = m.lockResumeFn
+		m.lockRetry = m.lockRetryFn
 		v.sched.Block(m.th)
 		v.maybeStartGC()
 	default:
 		panic("vm: unknown lock outcome")
 	}
+}
+
+// lockResume is the granted-handoff wake: the releaser handed m the
+// monitor, so the pending owned continuation runs directly.
+func (v *vm) lockResume(m *mutator) {
+	m.resume, m.lockRetry = nil, nil
+	v.setMutatorState(m, stRunning)
+	m.acqOwned()
+}
+
+// lockRetryWake is the competitive wake: the monitor was freed, not
+// handed over, and m must race for it again.
+func (v *vm) lockRetryWake(m *mutator) {
+	m.resume, m.lockRetry = nil, nil
+	v.setMutatorState(m, stRunning)
+	v.attemptAcquire(m, true)
 }
 
 // releaseMonitor releases mon, wakes the thread the policy handed the
@@ -295,41 +327,45 @@ func (v *vm) wakeCost(m *mutator) sim.Time {
 // registers its arrival under the barrier lock. The last arriver executes
 // the phase's sequential section and releases everyone.
 func (v *vm) enterBarrier(m *mutator) {
-	v.barrierPollLoop(m, barrierPolls)
+	m.barPollsLeft = barrierPolls
+	v.barrierPollLoop(m)
 }
 
-func (v *vm) barrierPollLoop(m *mutator, left int) {
-	if left == 0 {
+func (v *vm) barrierPollLoop(m *mutator) {
+	if m.barPollsLeft == 0 {
 		v.arriveBarrier(m)
 		return
 	}
+	m.barPollsLeft--
 	pollLock := v.queueLock
 	if pollLock == nil {
 		pollLock = v.barrierLock
 	}
-	v.acquireThen(m, pollLock, pollCost, func() {
-		v.barrierPollLoop(m, left-1)
-	})
+	v.acquireThen(m, pollLock, pollCost, m.barPollFn)
 }
 
 // arriveBarrier registers arrival under the barrier lock.
 func (v *vm) arriveBarrier(m *mutator) {
-	v.acquireThen(m, v.barrierLock, barrierHold, func() {
-		v.barArrived++
-		if v.barArrived >= v.aliveCount {
-			// Last arriver: run the sequential section, then open the
-			// next phase.
-			if v.seqPerPhase > 0 {
-				v.sched.Submit(m.th, v.seqPerPhase, func() { v.releaseBarrier(m) })
-			} else {
-				v.releaseBarrier(m)
-			}
-			return
+	v.acquireThen(m, v.barrierLock, barrierHold, m.barArriveFn)
+}
+
+// barrierArrived runs under the barrier lock: register arrival; the last
+// arriver executes the phase's sequential section and releases everyone.
+func (v *vm) barrierArrived(m *mutator) {
+	v.barArrived++
+	if v.barArrived >= v.aliveCount {
+		// Last arriver: run the sequential section, then open the
+		// next phase.
+		if v.seqPerPhase > 0 {
+			v.sched.Submit(m.th, v.seqPerPhase, m.barSeqFn)
+		} else {
+			v.releaseBarrier(m)
 		}
-		v.setMutatorState(m, stBarrier)
-		v.sched.Block(m.th)
-		v.maybeStartGC()
-	})
+		return
+	}
+	v.setMutatorState(m, stBarrier)
+	v.sched.Block(m.th)
+	v.maybeStartGC()
 }
 
 // releaseBarrier opens the next phase and wakes every waiting thread.

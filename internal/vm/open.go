@@ -159,9 +159,7 @@ func (v *vm) openFetch(m *mutator) {
 		return
 	}
 	if v.queueLock != nil {
-		v.acquireThen(m, v.queueLock, v.spec.QueueLockHold, func() {
-			v.openTake(m)
-		})
+		v.acquireThen(m, v.queueLock, v.spec.QueueLockHold, m.openTakeFn)
 		return
 	}
 	v.openTake(m)

@@ -106,6 +106,14 @@ type Config struct {
 	// tuning. Fusion also disables itself when a TraceSink is attached,
 	// keeping per-op trace timestamps exact.
 	DisableFusion bool
+	// DisableSnapshot turns off warm-start snapshot consumption: a run
+	// finding a Snapshot on its context (see ContextWithSnapshot) ignores
+	// it and regenerates its workload units live. Snapshot replay applies
+	// only when provably invisible — a tape's unit k equals the k-th
+	// live-generated unit, draw for draw — so results are bit-identical
+	// either way; like DisableFusion, the switch exists for differential
+	// testing and diagnosis, not tuning.
+	DisableSnapshot bool
 	// HelperPeriod and HelperBurst shape the JVM background threads (JIT
 	// compiler, profiler): every period each helper computes for burst.
 	HelperPeriod sim.Time
@@ -341,6 +349,30 @@ type mutator struct {
 	// thread must race for it again.
 	lockRetry func()
 
+	// Acquisition-in-flight state consumed by the pre-bound lock-path
+	// continuations below. A mutator drives one acquisition at a time, so
+	// per-mutator fields replace per-call closure captures (the VM's
+	// dominant allocation source before PR 10). See acquireThen.
+	acqMon   *locks.Monitor // monitor being acquired
+	acqOwned func()         // continuation once acqMon is held
+	atMon    *locks.Monitor // acquireThen: monitor to release after the hold
+	atHold   sim.Time       // acquireThen: critical-section length
+	atThen   func()         // acquireThen: continuation after release
+
+	// Pre-bound continuations for the lock, work-fetch, and barrier
+	// paths, set once at construction next to stepFn/fetchFn.
+	atOwnedFn    func()
+	atReleaseFn  func()
+	spinRetryFn  func()
+	lockResumeFn func()
+	lockRetryFn  func()
+	takeUnitFn   func()
+	openTakeFn   func()
+	barPollFn    func()
+	barArriveFn  func()
+	barSeqFn     func()
+	barPollsLeft int
+
 	// parkedContended records whether the park in progress fired the
 	// contended-enter probe; the wake that resolves it charges the
 	// workload's ContentionCost when set (see releaseMonitor).
@@ -427,6 +459,10 @@ type vm struct {
 	// openSt is the open-system driver state; nil for closed-loop runs.
 	openSt *openState
 
+	// snap is the warm-start snapshot the run is replaying from; nil for
+	// cold runs. Iteration i attaches snap's i-th tape.
+	snap *Snapshot
+
 	heapLog   []HeapSample
 	lifespans *metrics.Histogram
 	finished  bool
@@ -502,6 +538,19 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 	run, err := workload.NewRun(spec, cfg.Threads, cfg.Seed)
 	if err != nil {
 		return nil, err
+	}
+	// The VM consumes each unit fully before its thread takes the next,
+	// so per-thread op-buffer recycling is safe and saves the per-unit
+	// ops allocation.
+	run.ReuseUnitBuffers()
+	var snap *Snapshot
+	if !cfg.DisableSnapshot {
+		if s := SnapshotFrom(ctx); s != nil && s.Matches(spec, cfg) {
+			snap = s
+			if run.AttachTape(s.tapes[0]) && snapshotObserver != nil {
+				snapshotObserver()
+			}
+		}
 	}
 
 	var mach *machine.Machine
@@ -593,6 +642,7 @@ func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, e
 		fuseOK:    !cfg.DisableFusion && cfg.TraceSink == nil,
 		tlabSize:  hp.Config().TLABSize,
 		spanned:   spanned,
+		snap:      snap,
 	}
 	if layout.HomeSockets != nil {
 		v.compOf = numaCompartmentMap(mach, cfg.Threads, cfg.Cores, layout)
@@ -687,6 +737,16 @@ func (v *vm) setupMutators() {
 			m.state = stIdleOpen
 			m.fetchFn = func() { v.openFetch(m) }
 		}
+		m.atOwnedFn = func() { v.atOwned(m) }
+		m.atReleaseFn = func() { v.atRelease(m) }
+		m.spinRetryFn = func() { v.attemptAcquire(m, true) }
+		m.lockResumeFn = func() { v.lockResume(m) }
+		m.lockRetryFn = func() { v.lockRetryWake(m) }
+		m.takeUnitFn = func() { v.takeUnit(m) }
+		m.openTakeFn = func() { v.openTake(m) }
+		m.barPollFn = func() { v.barrierPollLoop(m) }
+		m.barArriveFn = func() { v.barrierArrived(m) }
+		m.barSeqFn = func() { v.releaseBarrier(m) }
 		m.th = v.sched.NewThread(fmt.Sprintf("worker-%d", i), sched.DefaultWeight)
 		m.th.MemoryIntensity = v.spec.MemoryIntensity
 		if v.cfg.Sched.Bias.Groups > 1 {

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// drainUnits takes every unit from r with a fixed round-robin thread
+// order and returns them in take order. The order is deterministic so
+// two runs drained the same way see the same draw sequence.
+func drainUnits(t *testing.T, r *Run, threads int) []Unit {
+	t.Helper()
+	var units []Unit
+	done := 0
+	for done < threads {
+		done = 0
+		for tid := 0; tid < threads; tid++ {
+			u, ok := r.Take(tid)
+			if !ok {
+				done++
+				continue
+			}
+			units = append(units, u)
+		}
+	}
+	return units
+}
+
+// TestTapeReplayMatchesLive pins the warm-start contract at the
+// workload layer: a run replaying a full tape hands out bit-identical
+// units to a run generating live.
+func TestTapeReplayMatchesLive(t *testing.T) {
+	for _, spec := range []Spec{XalanSpec().Scale(0.05), ServerSpec().Scale(0.05)} {
+		const threads, seed = 4, 7
+		tape, err := BuildTape(spec, seed, 0)
+		if err != nil {
+			t.Fatalf("%s: BuildTape: %v", spec.Name, err)
+		}
+		if tape.Len() != spec.TotalUnits {
+			t.Fatalf("%s: tape holds %d units, want %d", spec.Name, tape.Len(), spec.TotalUnits)
+		}
+		live, err := NewRun(spec, threads, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		taped, err := NewRun(spec, threads, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !taped.AttachTape(tape) {
+			t.Fatalf("%s: AttachTape rejected a matching tape", spec.Name)
+		}
+		lu, tu := drainUnits(t, live, threads), drainUnits(t, taped, threads)
+		if !reflect.DeepEqual(lu, tu) {
+			for i := range lu {
+				if !reflect.DeepEqual(lu[i], tu[i]) {
+					t.Fatalf("%s: unit %d differs under tape replay:\n  live: %+v\n  tape: %+v",
+						spec.Name, i, lu[i], tu[i])
+				}
+			}
+			t.Fatalf("%s: unit sequences differ under tape replay", spec.Name)
+		}
+	}
+}
+
+// TestTapeOverflowResumesLive exhausts a deliberately short tape mid-run
+// and requires the resumed live generation to continue exactly where an
+// untaped run's RNG streams would stand.
+func TestTapeOverflowResumesLive(t *testing.T) {
+	spec := XalanSpec().Scale(0.05)
+	const threads, seed, tapeLen = 4, 9, 8
+	tape, err := BuildTape(spec, seed, tapeLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tape.Len() != tapeLen {
+		t.Fatalf("tape holds %d units, want %d", tape.Len(), tapeLen)
+	}
+	live, err := NewRun(spec, threads, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taped, err := NewRun(spec, threads, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !taped.AttachTape(tape) {
+		t.Fatal("AttachTape rejected a matching tape")
+	}
+	lu, tu := drainUnits(t, live, threads), drainUnits(t, taped, threads)
+	if len(lu) <= tapeLen {
+		t.Fatalf("run consumed %d units; too few to overflow a %d-unit tape", len(lu), tapeLen)
+	}
+	if !reflect.DeepEqual(lu, tu) {
+		for i := range lu {
+			if !reflect.DeepEqual(lu[i], tu[i]) {
+				t.Fatalf("unit %d differs after tape overflow (tape length %d):\n  live: %+v\n  tape: %+v",
+					i, tapeLen, lu[i], tu[i])
+			}
+		}
+	}
+}
+
+// TestTapeAttachGuards pins the self-guard: a tape built from another
+// spec or seed is refused and leaves the run generating live.
+func TestTapeAttachGuards(t *testing.T) {
+	spec := XalanSpec().Scale(0.05)
+	r, err := NewRun(spec, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AttachTape(nil) {
+		t.Error("AttachTape accepted a nil tape")
+	}
+	wrongSeed, err := BuildTape(spec, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AttachTape(wrongSeed) {
+		t.Error("AttachTape accepted a tape built from a different seed")
+	}
+	wrongSpec, err := BuildTape(SunflowSpec().Scale(0.05), 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AttachTape(wrongSpec) {
+		t.Error("AttachTape accepted a tape built from a different spec")
+	}
+	if u, ok := r.Take(0); !ok || len(u.Ops) == 0 {
+		t.Error("run did not generate live after refused attaches")
+	}
+}

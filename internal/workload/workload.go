@@ -312,15 +312,34 @@ func (s *Spec) unitsFor(n int) []int {
 // single-threaded.
 type Run struct {
 	spec    Spec
+	seed    uint64
 	threads int
 	rng     *sim.Rand
 	siteRng *sim.Rand // dedicated stream for allocation-site draws
 	lockPop *sim.Zipf // popularity skew over shared locks
 
+	// Lognormal parameters are pure functions of the spec, hoisted out of
+	// generate so the per-unit cost is the draws alone, not the Log/Sqrt
+	// tower rederiving constants. The hoisted values are computed by the
+	// same expressions generate used, so draws are bit-identical.
+	unitMean  float64
+	unitMu    float64
+	unitSigma float64
+	sizeMu    float64
+	sizeSigma float64
+
 	queueLeft  int   // Queue distribution: shared pool
 	staticLeft []int // static distributions: per-thread pools
 
 	unitsTaken []int64 // per-thread work counter, for the §III table
+
+	// reuse/scratch: opt-in per-thread op-buffer recycling (see
+	// ReuseUnitBuffers). tape/tapePos: optional pre-generated unit source
+	// (see AttachTape).
+	reuse   bool
+	scratch [][]Op
+	tape    *Tape
+	tapePos int
 }
 
 // NewRun instantiates the spec for a given mutator thread count and seed.
@@ -334,6 +353,7 @@ func NewRun(spec Spec, threads int, seed uint64) (*Run, error) {
 	rng := sim.NewRand(seed)
 	r := &Run{
 		spec:       spec,
+		seed:       seed,
 		threads:    threads,
 		rng:        rng,
 		siteRng:    rng.Fork(0x517E5),
@@ -341,6 +361,20 @@ func NewRun(spec Spec, threads int, seed uint64) (*Run, error) {
 	}
 	if spec.SharedLocks > 0 {
 		r.lockPop = sim.NewZipf(r.rng.Fork(0xC0FFEE), spec.SharedLocks, 1.2)
+	}
+	cv := spec.ComputeCV
+	if cv <= 0 {
+		cv = 0.3
+	}
+	r.unitMean = float64(spec.UnitCompute)
+	r.unitSigma = math.Sqrt(math.Log(1 + cv*cv))
+	r.unitMu = math.Log(r.unitMean) - r.unitSigma*r.unitSigma/2
+	r.sizeSigma = spec.ObjSizeSigma
+	if r.sizeSigma <= 0 {
+		r.sizeSigma = 0.7
+	}
+	if spec.ObjSizeMeanB > 0 {
+		r.sizeMu = math.Log(float64(spec.ObjSizeMeanB)) - r.sizeSigma*r.sizeSigma/2
 	}
 	if spec.Distribution == Queue {
 		r.queueLeft = spec.TotalUnits
@@ -390,7 +424,7 @@ func (r *Run) Take(tid int) (Unit, bool) {
 		r.staticLeft[tid]--
 	}
 	r.unitsTaken[tid]++
-	return r.generate(tid), true
+	return r.nextUnit(tid), true
 }
 
 // TakeOpen hands thread tid a generated unit without drawing down the
@@ -400,7 +434,64 @@ func (r *Run) Take(tid int) (Unit, bool) {
 // in both modes.
 func (r *Run) TakeOpen(tid int) Unit {
 	r.unitsTaken[tid]++
+	return r.nextUnit(tid)
+}
+
+// ReuseUnitBuffers opts the run into recycling one op buffer per thread:
+// each Take/TakeOpen for thread tid overwrites the Unit previously handed
+// to tid. Callers that consume a unit fully before taking the thread's
+// next one (the VM does) save the per-unit ops allocation; callers that
+// retain units across takes must not enable this. Tape-replayed units are
+// never recycled — replay hands out the tape's persistent records.
+func (r *Run) ReuseUnitBuffers() {
+	if r.scratch == nil {
+		r.scratch = make([][]Op, r.threads)
+	}
+	r.reuse = true
+}
+
+// AttachTape switches the run's unit source to a pre-generated tape. The
+// tape must have been built from the same spec and seed; ok reports
+// whether it matched (on false the run is unchanged and will generate
+// live). Replay is bit-identical to live generation: unit k of a run is
+// a pure function of (spec, seed, k) — generation ignores the taking
+// thread — and once the tape is exhausted the run resumes live drawing
+// from cloned end-of-tape RNG states, exactly where a never-taped run's
+// streams would stand.
+func (r *Run) AttachTape(t *Tape) bool {
+	if t == nil || t.spec != r.spec || t.seed != r.seed {
+		return false
+	}
+	r.tape = t
+	r.tapePos = 0
+	return true
+}
+
+// nextUnit returns the next unit from the tape when one is attached and
+// unexhausted, otherwise generates live.
+func (r *Run) nextUnit(tid int) Unit {
+	if t := r.tape; t != nil {
+		if r.tapePos < len(t.units) {
+			u := t.units[r.tapePos]
+			r.tapePos++
+			return u
+		}
+		r.detachTape()
+	}
 	return r.generate(tid)
+}
+
+// detachTape switches an exhausted tape replay back to live generation,
+// resuming each RNG stream from the position it held when the tape's
+// last unit was generated.
+func (r *Run) detachTape() {
+	t := r.tape
+	r.tape = nil
+	r.rng = t.endRng.Clone()
+	r.siteRng = t.endSiteRng.Clone()
+	if t.endLockPop != nil {
+		r.lockPop = t.endLockPop.Clone()
+	}
 }
 
 // clampSize bounds object sizes to a Java-plausible range.
@@ -420,17 +511,11 @@ func (r *Run) generate(tid int) Unit {
 	s := &r.spec
 	rng := r.rng
 
-	// Unit compute duration: lognormal around the mean.
-	mean := float64(s.UnitCompute)
-	cv := s.ComputeCV
-	if cv <= 0 {
-		cv = 0.3
-	}
-	sigma := math.Sqrt(math.Log(1 + cv*cv))
-	mu := math.Log(mean) - sigma*sigma/2
-	total := sim.Time(rng.LogNormal(mu, sigma))
-	if total < sim.Time(mean/8) {
-		total = sim.Time(mean / 8)
+	// Unit compute duration: lognormal around the mean (parameters hoisted
+	// to NewRun).
+	total := sim.Time(rng.LogNormal(r.unitMu, r.unitSigma))
+	if total < sim.Time(r.unitMean/8) {
+		total = sim.Time(r.unitMean / 8)
 	}
 
 	allocs := s.AllocsPerUnit
@@ -459,21 +544,21 @@ func (r *Run) generate(tid int) Unit {
 		}
 	}
 
-	ops := make([]Op, 0, 4+allocs+2*lockOps)
+	var ops []Op
+	if r.reuse {
+		ops = r.scratch[tid][:0]
+	} else {
+		ops = make([]Op, 0, 4+allocs+2*lockOps)
+	}
 
 	// Leading compute: half the budget before the allocation burst.
 	ops = append(ops, Op{Kind: OpCompute, Dur: computeBudget / 2})
 
 	// Allocation burst.
-	sizeSigma := s.ObjSizeSigma
-	if sizeSigma <= 0 {
-		sizeSigma = 0.7
-	}
-	sizeMu := math.Log(float64(s.ObjSizeMeanB)) - sizeSigma*sizeSigma/2
 	for i := 0; i < allocs; i++ {
 		// Main-stream draw order (size, then death) is part of the
 		// calibrated behavior; sites draw from their own stream.
-		size := clampSize(rng.LogNormal(sizeMu, sizeSigma))
+		size := clampSize(rng.LogNormal(r.sizeMu, r.sizeSigma))
 		death := r.sampleDeath()
 		ops = append(ops, Op{
 			Kind:  OpAlloc,
@@ -499,6 +584,9 @@ func (r *Run) generate(tid int) Unit {
 
 	// Trailing compute.
 	ops = append(ops, Op{Kind: OpCompute, Dur: computeBudget / 2})
+	if r.reuse {
+		r.scratch[tid] = ops // keep grown capacity for tid's next unit
+	}
 	return Unit{Ops: ops}
 }
 
